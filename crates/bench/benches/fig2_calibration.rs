@@ -1,0 +1,36 @@
+//! Fig. 2 calibration panels as Criterion benches: each iteration runs
+//! a miniature calibration scenario (one panel, one quantum).
+
+use aql_baselines::xen_credit;
+use aql_bench::run_quick;
+use aql_experiments::fig2::{panel_scenario, Panel};
+use aql_hv::policy::FixedQuantumPolicy;
+use aql_sim::time::MS;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_calibration");
+    group.sample_size(10);
+    for panel in [Panel::ExclusiveIo, Panel::ConSpin, Panel::Llcf] {
+        group.bench_function(format!("panel_{}_xen30ms_k4", panel.letter()), |b| {
+            b.iter(|| {
+                let r = run_quick(panel_scenario(panel, 4), Box::new(xen_credit()));
+                black_box(r.total_cpu_ns())
+            })
+        });
+        group.bench_function(format!("panel_{}_1ms_k4", panel.letter()), |b| {
+            b.iter(|| {
+                let r = run_quick(
+                    panel_scenario(panel, 4),
+                    Box::new(FixedQuantumPolicy::new(MS)),
+                );
+                black_box(r.total_cpu_ns())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 4 as a Criterion bench: the cost of tracing vTRS cursors for a
+//! representative application, plus the raw vTRS decision path.
+
+use aql_core::{Vtrs, VtrsConfig};
+use aql_experiments::fig4::trace_app;
+use aql_mem::PmuSample;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_vtrs");
+    group.sample_size(10);
+    group.bench_function("trace_libquantum_quick", |b| {
+        b.iter(|| black_box(trace_app("libquantum", true).rows.len()))
+    });
+
+    // The §4.3 hot path: one vTRS observation pass over 48 vCPUs.
+    group.bench_function("vtrs_observe_48_vcpus", |b| {
+        let mut vtrs = Vtrs::new(48, VtrsConfig::default());
+        let samples: Vec<PmuSample> = (0..48)
+            .map(|i| PmuSample {
+                instructions: 1e7,
+                llc_refs: 5e5,
+                llc_misses: 2e5,
+                io_events: (i % 3) as u64,
+                ple_exits: (i % 7) as u64,
+                ran_ns: 7_500_000,
+                period_ns: 30_000_000,
+            })
+            .collect();
+        b.iter(|| black_box(vtrs.observe(&samples).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 5 as a Criterion bench: one representative application per
+//! class swept through its quantum extremes (miniature version of the
+//! full validation sweep).
+
+use aql_bench::run_quick;
+use aql_experiments::fig5::catalog_scenario;
+use aql_hv::policy::FixedQuantumPolicy;
+use aql_sim::time::MS;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_validation");
+    group.sample_size(10);
+    for app in ["SPECweb2009", "bzip2", "hmmer", "mcf"] {
+        for q in [MS, 90 * MS] {
+            group.bench_function(
+                format!("{app}_{}", aql_sim::time::fmt_dur(q)),
+                |b| {
+                    b.iter(|| {
+                        let r = run_quick(
+                            catalog_scenario(app),
+                            Box::new(FixedQuantumPolicy::new(q)),
+                        );
+                        black_box(r.total_cpu_ns())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 6 as a Criterion bench: scenario S5 under native Xen and under
+//! AQL_Sched (miniature effectiveness comparison), plus the 4-socket
+//! Fig. 3 case.
+
+use aql_baselines::xen_credit;
+use aql_bench::run_quick;
+use aql_core::AqlSched;
+use aql_experiments::fig6::{aql_for_fig3, fig3_scenario, scenario, usable_sockets, RestrictedXen};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_effectiveness");
+    group.sample_size(10);
+    group.bench_function("s5_xen", |b| {
+        b.iter(|| black_box(run_quick(scenario(5), Box::new(xen_credit())).total_cpu_ns()))
+    });
+    group.bench_function("s5_aql", |b| {
+        b.iter(|| {
+            black_box(
+                run_quick(scenario(5), Box::new(AqlSched::paper_defaults())).total_cpu_ns(),
+            )
+        })
+    });
+    group.bench_function("fig3_xen_restricted", |b| {
+        b.iter(|| {
+            black_box(
+                run_quick(
+                    fig3_scenario(),
+                    Box::new(RestrictedXen::new(usable_sockets())),
+                )
+                .total_cpu_ns(),
+            )
+        })
+    });
+    group.bench_function("fig3_aql", |b| {
+        b.iter(|| black_box(run_quick(fig3_scenario(), Box::new(aql_for_fig3())).total_cpu_ns()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

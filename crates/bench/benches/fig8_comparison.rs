@@ -1,0 +1,39 @@
+//! Fig. 8 as a Criterion bench: scenario S5 under each comparator
+//! policy (vTurbo, vSlicer, Microsliced, AQL_Sched).
+
+use aql_baselines::{Microsliced, VSlicer, VTurbo};
+use aql_bench::run_quick;
+use aql_core::AqlSched;
+use aql_experiments::fig6::scenario;
+use aql_experiments::fig8::s5_io_vms;
+use aql_hv::SchedPolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_comparison");
+    group.sample_size(10);
+    let io_names = s5_io_vms();
+    let io_refs: Vec<&str> = io_names.iter().map(|s| s.as_str()).collect();
+    let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn SchedPolicy>>)> = vec![
+        ("vturbo", {
+            let io = io_refs.clone();
+            Box::new(move || Box::new(VTurbo::new(&io)))
+        }),
+        ("microsliced", Box::new(|| Box::new(Microsliced::default()))),
+        ("vslicer", {
+            let io = io_refs.clone();
+            Box::new(move || Box::new(VSlicer::new(&io)))
+        }),
+        ("aql", Box::new(|| Box::new(AqlSched::paper_defaults()))),
+    ];
+    for (name, make) in policies {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_quick(scenario(5), make()).total_cpu_ns()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

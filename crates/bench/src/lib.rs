@@ -1,0 +1,29 @@
+//! Benchmark support: shared helpers for the Criterion benches.
+//!
+//! Each bench target regenerates a scaled-down version of one paper
+//! figure or table (full-scale regeneration is the `repro` binary's
+//! job; the benches track the *cost* of producing each artifact and
+//! the micro-costs behind the §4.3 overhead claims).
+
+use aql_hv::{RunReport, SchedPolicy};
+
+use aql_experiments::Scenario;
+
+/// Runs a scenario in quick mode under a policy; used by the figure
+/// benches so each iteration is a complete miniature experiment.
+pub fn run_quick(scenario: Scenario, policy: Box<dyn SchedPolicy>) -> RunReport {
+    scenario.quick().run(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_baselines::xen_credit;
+    use aql_experiments::fig2::{panel_scenario, Panel};
+
+    #[test]
+    fn quick_runner_produces_reports() {
+        let r = run_quick(panel_scenario(Panel::Lolcf, 2), Box::new(xen_credit()));
+        assert_eq!(r.vms.len(), 2);
+    }
+}

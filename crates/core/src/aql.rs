@@ -1,0 +1,352 @@
+//! The AQL_Sched scheduling policy.
+//!
+//! Ties vTRS, the calibrated quantum table and the two-level clustering
+//! to the hypervisor's CPU pools: every monitoring period the PMU
+//! samples feed vTRS; every `n` periods (one full recognition window)
+//! the vCPU types are re-evaluated and, when they changed, a new
+//! [`ClusterPlan`] is applied. Scheduling *within* a pool remains the
+//! native Credit scheduler, exactly as in the paper ("scheduling within
+//! a cluster is ensured by the native scheduler").
+
+use std::any::Any;
+
+use aql_hv::engine::Hypervisor;
+use aql_hv::ids::SocketId;
+use aql_hv::policy::SchedPolicy;
+use aql_mem::PmuSample;
+use aql_sim::time::SimTime;
+
+use crate::calibration::QuantumTable;
+use crate::clustering::{cluster_machine, ClusterPlan, VcpuDesc};
+use crate::cursors::Cursors;
+use crate::vtrs::{Vtrs, VtrsConfig};
+
+/// AQL_Sched configuration.
+#[derive(Debug, Clone)]
+pub struct AqlSchedConfig {
+    /// vTRS window and cursor limits.
+    pub vtrs: VtrsConfig,
+    /// Calibrated best-quantum table.
+    pub table: QuantumTable,
+    /// Sockets available for guest vCPUs (`None` = all). The paper
+    /// reserves one socket for dom0 on the 4-socket machine (Fig. 3).
+    pub usable_sockets: Option<Vec<SocketId>>,
+    /// Cursor-history periods to record per vCPU (0 = off); used to
+    /// regenerate Fig. 4.
+    pub record_history: usize,
+    /// Disables the quantum-customisation step: clustering still runs,
+    /// but every pool is configured with this uniform quantum. Used by
+    /// the Fig. 7 ablation ("the quantum length customization step was
+    /// discarded").
+    pub uniform_quantum: Option<u64>,
+    /// Type SMP VMs by majority vote over their vCPUs: threads of one
+    /// parallel application belong together, and a straggler thread
+    /// that happened not to spin during a window must not be split
+    /// away from its siblings (cross-pool barriers are disastrous).
+    pub vm_majority_typing: bool,
+    /// Apply a new cluster plan only after the type signature has been
+    /// observed this many consecutive decision windows (debounce):
+    /// "frequent type variations imply frequent vCPU migrations ...
+    /// known to be negative for performance" (§3.3.1).
+    pub confirm_windows: u32,
+}
+
+impl Default for AqlSchedConfig {
+    fn default() -> Self {
+        AqlSchedConfig {
+            vtrs: VtrsConfig::default(),
+            table: QuantumTable::paper_defaults(),
+            usable_sockets: None,
+            record_history: 0,
+            uniform_quantum: None,
+            vm_majority_typing: true,
+            confirm_windows: 2,
+        }
+    }
+}
+
+/// The Adaptable Quantum Length scheduler.
+pub struct AqlSched {
+    cfg: AqlSchedConfig,
+    vtrs: Option<Vtrs>,
+    periods: u64,
+    last_signature: Option<Vec<(aql_hv::apptype::VcpuType, bool)>>,
+    pending_signature: Option<(Vec<(aql_hv::apptype::VcpuType, bool)>, u32)>,
+    last_plan: Option<ClusterPlan>,
+    history: Vec<Vec<Cursors>>,
+    reclusterings: u64,
+}
+
+impl AqlSched {
+    /// Creates the policy with the given configuration.
+    pub fn new(cfg: AqlSchedConfig) -> Self {
+        AqlSched {
+            cfg,
+            vtrs: None,
+            periods: 0,
+            last_signature: None,
+            pending_signature: None,
+            last_plan: None,
+            history: Vec::new(),
+            reclusterings: 0,
+        }
+    }
+
+    /// Creates the policy with the paper's default configuration.
+    pub fn paper_defaults() -> Self {
+        AqlSched::new(AqlSchedConfig::default())
+    }
+
+    /// The most recent cluster plan, if one was applied.
+    pub fn last_plan(&self) -> Option<&ClusterPlan> {
+        self.last_plan.as_ref()
+    }
+
+    /// Recorded cursor history of a vCPU (empty unless
+    /// `record_history > 0`).
+    pub fn cursor_history(&self, vcpu: usize) -> &[Cursors] {
+        self.history.get(vcpu).map_or(&[], |h| h.as_slice())
+    }
+
+    /// Number of times a new cluster plan was applied.
+    pub fn reclusterings(&self) -> u64 {
+        self.reclusterings
+    }
+
+    /// Current vTRS view (available after the first monitoring period).
+    pub fn vtrs(&self) -> Option<&Vtrs> {
+        self.vtrs.as_ref()
+    }
+
+    fn usable_sockets(&self, hv: &Hypervisor) -> Vec<SocketId> {
+        self.cfg
+            .usable_sockets
+            .clone()
+            .unwrap_or_else(|| (0..hv.machine.sockets).map(SocketId).collect())
+    }
+}
+
+impl SchedPolicy for AqlSched {
+    fn name(&self) -> &str {
+        "aql-sched"
+    }
+
+    fn init(&mut self, hv: &mut Hypervisor) {
+        self.vtrs = Some(Vtrs::new(hv.vcpus.len(), self.cfg.vtrs));
+        if self.cfg.record_history > 0 {
+            self.history = vec![Vec::new(); hv.vcpus.len()];
+        }
+        // Until the first recognition window completes, run as native
+        // Xen: one machine-wide pool at the default quantum.
+        let all = (0..hv.machine.total_pcpus())
+            .map(aql_hv::ids::PcpuId)
+            .collect();
+        let assignment = vec![aql_hv::ids::PoolId(0); hv.vcpus.len()];
+        hv.apply_plan(
+            vec![aql_hv::pool::PoolSpec::new(all, self.cfg.table.default_quantum_ns)],
+            assignment,
+        )
+        .expect("machine-wide pool is always valid");
+    }
+
+    fn on_monitor(&mut self, hv: &mut Hypervisor, _now: SimTime) {
+        let vtrs = self.vtrs.as_mut().expect("init ran");
+        let samples: Vec<PmuSample> = hv.vcpus.iter().map(|v| v.last_sample).collect();
+        let cursors = vtrs.observe(&samples);
+        if self.cfg.record_history > 0 {
+            for (i, c) in cursors.iter().enumerate() {
+                if self.history[i].len() < self.cfg.record_history {
+                    self.history[i].push(*c);
+                }
+            }
+        }
+        self.periods += 1;
+        // Decide after each full window (the paper's n periods).
+        if !self.periods.is_multiple_of(self.cfg.vtrs.window as u64) {
+            return;
+        }
+        let mut signature: Vec<(aql_hv::apptype::VcpuType, bool)> = (0..hv.vcpus.len())
+            .map(|i| {
+                let previous = self
+                    .last_signature
+                    .as_ref()
+                    .map(|sig| sig[i].1);
+                (vtrs.type_of(i), vtrs.is_trashing_hysteresis(i, previous))
+            })
+            .collect();
+        if self.cfg.vm_majority_typing {
+            // Threads of one application belong together: type each VM
+            // by the majority of its vCPUs.
+            for vm in &hv.vms {
+                if vm.vcpus.len() < 2 {
+                    continue;
+                }
+                let mut counts = [0usize; 5];
+                for v in &vm.vcpus {
+                    let t = signature[v.index()].0;
+                    let idx = aql_hv::apptype::VcpuType::ALL
+                        .iter()
+                        .position(|&x| x == t)
+                        .expect("typed");
+                    counts[idx] += 1;
+                }
+                let best = (0..5).max_by_key(|&i| counts[i]).expect("non-empty");
+                let majority = aql_hv::apptype::VcpuType::ALL[best];
+                let trashing = vm
+                    .vcpus
+                    .iter()
+                    .filter(|v| signature[v.index()].1)
+                    .count()
+                    * 2
+                    > vm.vcpus.len();
+                for v in &vm.vcpus {
+                    signature[v.index()] = (majority, trashing);
+                }
+            }
+        }
+        if self.last_signature.as_ref() == Some(&signature) {
+            self.pending_signature = None;
+            return; // Types unchanged: keep the current clustering.
+        }
+        // Debounce: a new signature must persist before it migrates
+        // vCPUs (the first-ever plan applies immediately).
+        if self.last_signature.is_some() && self.cfg.confirm_windows > 1 {
+            match &mut self.pending_signature {
+                Some((pending, seen)) if *pending == signature => {
+                    *seen += 1;
+                    if *seen < self.cfg.confirm_windows {
+                        return;
+                    }
+                }
+                _ => {
+                    self.pending_signature = Some((signature, 1));
+                    return;
+                }
+            }
+            self.pending_signature = None;
+        }
+        let descs: Vec<VcpuDesc> = hv
+            .vcpus
+            .iter()
+            .enumerate()
+            .map(|(i, v)| VcpuDesc {
+                vcpu: v.id,
+                vm: v.vm,
+                vtype: signature[i].0,
+                trashing: signature[i].1,
+            })
+            .collect();
+        let plan = cluster_machine(
+            &hv.machine,
+            &self.usable_sockets(hv),
+            &descs,
+            &self.cfg.table,
+        );
+        hv.apply_plan(plan.pools.clone(), plan.assignment.clone())
+            .expect("cluster plans are valid by construction");
+        if let Some(q) = self.cfg.uniform_quantum {
+            // Fig. 7 ablation: keep the clustering, drop the
+            // per-cluster quantum customisation.
+            for i in 0..hv.pools.len() {
+                hv.set_pool_quantum(aql_hv::ids::PoolId(i), q);
+            }
+        }
+        self.last_plan = Some(plan);
+        self.last_signature = Some(signature);
+        self.reclusterings += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_hv::{MachineSpec, SimulationBuilder, VmSpec};
+    use aql_mem::CacheSpec;
+    use aql_sim::time::{MS, SEC};
+    use aql_workloads::{IoServer, IoServerCfg, MemWalk};
+
+    #[test]
+    fn aql_types_and_reclusters_a_mixed_machine() {
+        let spec = CacheSpec::i7_3770();
+        let machine = MachineSpec::custom("4core", 1, 4, spec);
+        let mut sim = SimulationBuilder::new(machine)
+            .policy(Box::new(AqlSched::paper_defaults()))
+            .vm(
+                VmSpec::single("web"),
+                Box::new(IoServer::new("web", IoServerCfg::heterogeneous(150.0), 3)),
+            )
+            .vm(VmSpec::single("llcf"), Box::new(MemWalk::llcf("llcf", &spec)))
+            .vm(VmSpec::single("lolcf"), Box::new(MemWalk::lolcf("lolcf", &spec)))
+            .vm(VmSpec::single("llco"), Box::new(MemWalk::llco("llco", &spec)))
+            .build();
+        sim.run_for(2 * SEC);
+        let policy = sim
+            .policy()
+            .as_any()
+            .downcast_ref::<AqlSched>()
+            .expect("AqlSched policy");
+        assert!(policy.reclusterings() >= 1, "must recluster at least once");
+        let plan = policy.last_plan().expect("plan applied");
+        // The IO vCPU must sit in a 1 ms pool, the LLCF vCPU in a 90 ms
+        // pool.
+        let vtrs = policy.vtrs().unwrap();
+        assert_eq!(vtrs.type_of(0), aql_hv::apptype::VcpuType::IoInt);
+        assert_eq!(vtrs.type_of(1), aql_hv::apptype::VcpuType::Llcf);
+        assert_eq!(vtrs.type_of(2), aql_hv::apptype::VcpuType::Lolcf);
+        assert_eq!(vtrs.type_of(3), aql_hv::apptype::VcpuType::Llco);
+        let io_pool = plan.assignment[0];
+        assert_eq!(plan.pools[io_pool.index()].quantum_ns, MS);
+        let llcf_pool = plan.assignment[1];
+        assert_eq!(plan.pools[llcf_pool.index()].quantum_ns, 90 * MS);
+    }
+
+    #[test]
+    fn stable_types_do_not_rechurn() {
+        let spec = CacheSpec::i7_3770();
+        let machine = MachineSpec::custom("2core", 1, 2, spec);
+        let mut sim = SimulationBuilder::new(machine)
+            .policy(Box::new(AqlSched::paper_defaults()))
+            .vm(VmSpec::single("a"), Box::new(MemWalk::lolcf("a", &spec)))
+            .vm(VmSpec::single("b"), Box::new(MemWalk::lolcf("b", &spec)))
+            .build();
+        sim.run_for(3 * SEC);
+        let policy = sim
+            .policy()
+            .as_any()
+            .downcast_ref::<AqlSched>()
+            .unwrap();
+        // Types settle immediately and never change: exactly one
+        // reclustering (the first decision).
+        assert_eq!(policy.reclusterings(), 1, "no churn for stable types");
+        // No vCPU migrated after the initial placement.
+        let report = sim.report();
+        let migrations: u64 = report
+            .vms
+            .iter()
+            .flat_map(|v| v.vcpu_pool_migrations.iter())
+            .sum();
+        assert!(migrations <= 2, "excessive migrations: {migrations}");
+    }
+
+    #[test]
+    fn history_recording_caps() {
+        let spec = CacheSpec::i7_3770();
+        let machine = MachineSpec::custom("1core", 1, 1, spec);
+        let mut cfg = AqlSchedConfig::default();
+        cfg.record_history = 10;
+        let mut sim = SimulationBuilder::new(machine)
+            .policy(Box::new(AqlSched::new(cfg)))
+            .vm(VmSpec::single("a"), Box::new(MemWalk::llco("a", &spec)))
+            .build();
+        sim.run_for(SEC);
+        let policy = sim.policy().as_any().downcast_ref::<AqlSched>().unwrap();
+        assert_eq!(policy.cursor_history(0).len(), 10);
+        // The trasher's history converges to a dominant LLCO cursor.
+        let last = policy.cursor_history(0).last().unwrap();
+        assert!(last.llco > 50.0, "LLCO cursor should dominate: {last:?}");
+    }
+}

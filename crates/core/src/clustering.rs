@@ -1,0 +1,574 @@
+//! Two-level vCPU clustering (§3.5, Algorithms 1 and 2).
+//!
+//! After each vTRS decision, vCPUs are organised into clusters so that
+//! those performing best with the same quantum share a pool of pCPUs:
+//!
+//! * **Algorithm 1** (machine level) splits vCPUs into *trashing*
+//!   (`LLCO`, plus `IOInt⁺`/`ConSpin⁺` whose LLCO cursor is high) and
+//!   *non-trashing* groups and deals them out to sockets, keeping
+//!   same-VM vCPUs adjacent (NUMA) and LoLCF ahead of the non-trashing
+//!   list so LLCF vCPUs land away from disturbers.
+//! * **Algorithm 2** (socket level) groups vCPUs by *quantum-length
+//!   compatibility* (QLC), uses the quantum-agnostic types (`LoLCF`,
+//!   `LLCO`) to balance cluster sizes, assigns `k = vCPUs/pCPUs`
+//!   vCPUs per pCPU for fairness, and parks the unavoidable mixed
+//!   leftovers in a default-quantum (30 ms) cluster.
+//!
+//! Note on the paper text: Algorithm 1's line 5 tests
+//! `max(...) = LLCF_cur_avg` for membership of the *trashing* list,
+//! contradicting the prose ("vCPUs which are part of the trashing list
+//! are LLCO..."); the `LLCF` there is an evident typo for `LLCO` and
+//! this implementation follows the prose. The worked example (Fig. 3)
+//! also implies the trashing list is ordered with `LLCO` first — that
+//! ordering is applied here and validated by the
+//! `fig3_worked_example` test.
+
+use aql_hv::apptype::VcpuType;
+use aql_hv::ids::{PcpuId, PoolId, SocketId, VcpuId, VmId};
+use aql_hv::pool::PoolSpec;
+use aql_hv::topology::MachineSpec;
+use aql_sim::time::fmt_dur;
+
+use crate::calibration::QuantumTable;
+
+/// What clustering needs to know about one vCPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VcpuDesc {
+    /// The vCPU.
+    pub vcpu: VcpuId,
+    /// Its VM (same-VM vCPUs are kept on one socket where possible).
+    pub vm: VmId,
+    /// The vTRS-recognised type.
+    pub vtype: VcpuType,
+    /// Whether the vCPU is a trashing disturber (`LLCO`, `IOInt⁺`,
+    /// `ConSpin⁺`).
+    pub trashing: bool,
+}
+
+impl VcpuDesc {
+    /// The paper's annotated notation: `IOInt+`, `ConSpin-`, ...
+    pub fn annotated(&self) -> String {
+        match self.vtype {
+            VcpuType::IoInt | VcpuType::ConSpin => {
+                format!("{}{}", self.vtype, if self.trashing { "+" } else { "-" })
+            }
+            _ => self.vtype.to_string(),
+        }
+    }
+}
+
+/// One cluster of the resulting plan (reporting view).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInfo {
+    /// Paper-style label, e.g. `C3^90ms`.
+    pub label: String,
+    /// Socket hosting the cluster.
+    pub socket: SocketId,
+    /// Configured quantum (ns).
+    pub quantum_ns: u64,
+    /// Member vCPUs.
+    pub vcpus: Vec<VcpuId>,
+    /// pCPUs of the cluster's pool.
+    pub pcpus: Vec<PcpuId>,
+    /// Whether this is a mixed/default-quantum cluster.
+    pub is_default: bool,
+}
+
+/// A complete clustering decision, ready for
+/// [`aql_hv::engine::Hypervisor::apply_plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPlan {
+    /// Pool layout (one pool per cluster plus, possibly, an idle pool
+    /// for unused pCPUs).
+    pub pools: Vec<PoolSpec>,
+    /// vCPU → pool assignment, indexed by vCPU id.
+    pub assignment: Vec<PoolId>,
+    /// Reporting view of the clusters (excludes the idle pool).
+    pub clusters: Vec<ClusterInfo>,
+}
+
+/// Algorithm 1: deal vCPUs out to sockets, trashing first.
+///
+/// Returns per-socket descriptor lists, in `usable_sockets` order.
+pub fn first_level(
+    descs: &[VcpuDesc],
+    usable_sockets: &[SocketId],
+) -> Vec<Vec<VcpuDesc>> {
+    assert!(!usable_sockets.is_empty(), "need at least one socket");
+    // Line 3: same-VM vCPUs adjacent.
+    let mut ordered: Vec<VcpuDesc> = descs.to_vec();
+    ordered.sort_by_key(|d| (d.vm, d.vcpu));
+    // Lines 4-10 (with the LLCF→LLCO typo corrected): split.
+    let mut trashing: Vec<VcpuDesc> = Vec::new();
+    let mut non_trashing: Vec<VcpuDesc> = Vec::new();
+    for d in ordered {
+        if d.trashing {
+            trashing.push(d);
+        } else {
+            non_trashing.push(d);
+        }
+    }
+    // Fig. 3 ordering: agnostic trashers (LLCO) ahead of typed ones.
+    trashing.sort_by_key(|d| (d.vtype != VcpuType::Llco, d.vm, d.vcpu));
+    // Line 11: LoLCF at the head of the non-trashing list.
+    non_trashing.sort_by_key(|d| (d.vtype != VcpuType::Lolcf, d.vm, d.vcpu));
+
+    // Lines 12-17: chunk the concatenated stream over the sockets.
+    let total = trashing.len() + non_trashing.len();
+    let per_socket = total.div_ceil(usable_sockets.len());
+    let mut stream = trashing;
+    stream.extend(non_trashing);
+    let mut out: Vec<Vec<VcpuDesc>> = Vec::with_capacity(usable_sockets.len());
+    let mut it = stream.into_iter();
+    for _ in usable_sockets {
+        out.push(it.by_ref().take(per_socket).collect());
+    }
+    debug_assert!(it.next().is_none(), "stream fully consumed");
+    out
+}
+
+/// One socket's share of the plan, produced by [`second_level`].
+#[derive(Debug, Clone)]
+pub struct SocketClusters {
+    /// Clusters formed on the socket: (quantum, vCPUs, pCPUs, default?).
+    pub clusters: Vec<(u64, Vec<VcpuId>, Vec<PcpuId>, bool)>,
+    /// pCPUs of the socket left without vCPUs.
+    pub spare_pcpus: Vec<PcpuId>,
+}
+
+/// Algorithm 2: cluster one socket's vCPUs by quantum-length
+/// compatibility and assign pCPU pools fairly.
+pub fn second_level(
+    vcpus: &[VcpuDesc],
+    pcpus: &[PcpuId],
+    table: &QuantumTable,
+) -> SocketClusters {
+    assert!(!pcpus.is_empty(), "socket without pCPUs");
+    if vcpus.is_empty() {
+        return SocketClusters {
+            clusters: Vec::new(),
+            spare_pcpus: pcpus.to_vec(),
+        };
+    }
+    // Lines 2-7: one candidate cluster per calibrated quantum;
+    // agnostic vCPUs (LoLCF, LLCO) held aside for balancing.
+    let mut clusters: Vec<(u64, Vec<VcpuDesc>)> = Vec::new();
+    let mut agnostic: Vec<VcpuDesc> = Vec::new();
+    for q in table.distinct_quanta() {
+        let members: Vec<VcpuDesc> = vcpus
+            .iter()
+            .filter(|d| table.best_for(d.vtype) == Some(q))
+            .copied()
+            .collect();
+        if !members.is_empty() {
+            clusters.push((q, members));
+        }
+    }
+    for d in vcpus {
+        if table.best_for(d.vtype).is_none() {
+            agnostic.push(*d);
+        }
+    }
+
+    // Fairness unit (line 11): k vCPUs per pCPU.
+    let k = vcpus.len().div_ceil(pcpus.len()).max(1);
+
+    // Line 10: agnostic vCPUs balance the clusters — first top up each
+    // cluster to a multiple of k, then deal out the remainder in
+    // k-sized chunks. A socket of only-agnostic vCPUs becomes a single
+    // default-quantum cluster.
+    let mut agnostic = std::collections::VecDeque::from(agnostic);
+    let mut default_only = false;
+    if clusters.is_empty() {
+        if !agnostic.is_empty() {
+            clusters.push((table.default_quantum_ns, agnostic.drain(..).collect()));
+            default_only = true;
+        }
+    } else {
+        for (_, members) in &mut clusters {
+            while members.len() % k != 0 {
+                match agnostic.pop_front() {
+                    Some(d) => members.push(d),
+                    None => break,
+                }
+            }
+        }
+        // Remaining agnostic chunks join clusters starting from the
+        // last (the paper's Table 5 pairs them with the LLCF cluster).
+        let mut i = 0;
+        while !agnostic.is_empty() {
+            let chunk = k.min(agnostic.len());
+            let idx = clusters.len() - 1 - (i % clusters.len());
+            for _ in 0..chunk {
+                let d = agnostic.pop_front().expect("non-empty");
+                clusters[idx].1.push(d);
+            }
+            i += 1;
+        }
+    }
+
+    // Keep VMs whole where the walk allows it: the walk consumes each
+    // cluster front-to-back in k-chunks and the final partial chunk
+    // lands in the mixed/default cluster, so large VM groups go first
+    // (they chunk cleanly) and small groups pool into the leftover —
+    // splitting as few VMs as possible (the paper's same-VM-adjacency
+    // ordering serves the same goal at the socket level).
+    for (_, members) in &mut clusters {
+        let mut group_size: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
+        for d in members.iter() {
+            *group_size.entry(d.vm.index()).or_insert(0) += 1;
+        }
+        members.sort_by_key(|d| {
+            (std::cmp::Reverse(group_size[&d.vm.index()]), d.vm, d.vcpu)
+        });
+    }
+
+    // Lines 11-30: walk the pCPUs, taking k vCPUs at a time; when a
+    // cluster runs short, the mixed set goes to the default cluster.
+    let mut out: Vec<(u64, Vec<VcpuId>, Vec<PcpuId>, bool)> = clusters
+        .iter()
+        .map(|(q, _)| (*q, Vec::new(), Vec::new(), default_only))
+        .collect();
+    let mut default_cluster: (u64, Vec<VcpuId>, Vec<PcpuId>, bool) =
+        (table.default_quantum_ns, Vec::new(), Vec::new(), true);
+    let mut spare_pcpus: Vec<PcpuId> = Vec::new();
+    let mut ci = 0; // current cluster index
+    let mut offset = 0; // consumed vCPUs within current cluster
+    for &p in pcpus {
+        // Skip exhausted clusters.
+        while ci < clusters.len() && offset >= clusters[ci].1.len() {
+            ci += 1;
+            offset = 0;
+        }
+        if ci >= clusters.len() {
+            spare_pcpus.push(p);
+            continue;
+        }
+        let remaining = clusters[ci].1.len() - offset;
+        if remaining >= k {
+            // Line 14-16: a clean k-sized set from one cluster.
+            for d in &clusters[ci].1[offset..offset + k] {
+                out[ci].1.push(d.vcpu);
+            }
+            out[ci].2.push(p);
+            offset += k;
+        } else {
+            // Lines 17-24: mixed leftovers → default cluster.
+            let mut taken = 0;
+            while taken < k && ci < clusters.len() {
+                let avail = clusters[ci].1.len() - offset;
+                let grab = avail.min(k - taken);
+                for d in &clusters[ci].1[offset..offset + grab] {
+                    default_cluster.1.push(d.vcpu);
+                }
+                offset += grab;
+                taken += grab;
+                if offset >= clusters[ci].1.len() {
+                    ci += 1;
+                    offset = 0;
+                }
+            }
+            default_cluster.2.push(p);
+        }
+    }
+    while ci < clusters.len() && offset >= clusters[ci].1.len() {
+        ci += 1;
+        offset = 0;
+    }
+    debug_assert!(
+        ci >= clusters.len(),
+        "every vCPU must be placed (k covers the socket)"
+    );
+    if !default_cluster.1.is_empty() {
+        out.push(default_cluster);
+    }
+    out.retain(|(_, vcpus, pcpus, _)| !vcpus.is_empty() && !pcpus.is_empty());
+    SocketClusters {
+        clusters: out,
+        spare_pcpus,
+    }
+}
+
+/// Runs both levels and assembles a machine-wide [`ClusterPlan`].
+///
+/// `usable_sockets` lets the caller reserve sockets (e.g. for dom0 as
+/// in Fig. 3); the reserved sockets' pCPUs join an idle default pool.
+pub fn cluster_machine(
+    machine: &MachineSpec,
+    usable_sockets: &[SocketId],
+    descs: &[VcpuDesc],
+    table: &QuantumTable,
+) -> ClusterPlan {
+    let total_vcpus = descs.len();
+    let per_socket = first_level(descs, usable_sockets);
+
+    let mut pools: Vec<PoolSpec> = Vec::new();
+    let mut clusters: Vec<ClusterInfo> = Vec::new();
+    let mut assignment: Vec<PoolId> = vec![PoolId(usize::MAX); total_vcpus];
+    let mut spare: Vec<PcpuId> = Vec::new();
+
+    // Sockets not in `usable_sockets` contribute idle pCPUs.
+    for s in 0..machine.sockets {
+        if !usable_sockets.contains(&SocketId(s)) {
+            spare.extend(machine.pcpus_of_socket(SocketId(s)));
+        }
+    }
+
+    let mut label_counter = 0usize;
+    for (si, socket) in usable_sockets.iter().enumerate() {
+        let pcpus = machine.pcpus_of_socket(*socket);
+        let sc = second_level(&per_socket[si], &pcpus, table);
+        spare.extend(sc.spare_pcpus);
+        for (q, vcpus, cpus, is_default) in sc.clusters {
+            label_counter += 1;
+            let pool_id = PoolId(pools.len());
+            pools.push(PoolSpec::new(cpus.clone(), q));
+            for v in &vcpus {
+                assignment[v.index()] = pool_id;
+            }
+            clusters.push(ClusterInfo {
+                label: format!("C{}^{}", label_counter, fmt_dur(q)),
+                socket: *socket,
+                quantum_ns: q,
+                vcpus,
+                pcpus: cpus,
+                is_default,
+            });
+        }
+    }
+    if !spare.is_empty() {
+        pools.push(PoolSpec::new(spare, table.default_quantum_ns));
+    }
+    debug_assert!(
+        assignment.iter().all(|p| p.index() != usize::MAX),
+        "every vCPU assigned"
+    );
+    ClusterPlan {
+        pools,
+        assignment,
+        clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_mem::CacheSpec;
+
+    fn desc(i: usize, vm: usize, t: VcpuType, trashing: bool) -> VcpuDesc {
+        VcpuDesc {
+            vcpu: VcpuId(i),
+            vm: VmId(vm),
+            vtype: t,
+            trashing,
+        }
+    }
+
+    /// Builds the Fig. 3 population: 12 IOInt+, 7 ConSpin-, 17 LLCF,
+    /// 12 LLCO — 48 single-vCPU VMs in that construction order.
+    fn fig3_descs() -> Vec<VcpuDesc> {
+        let mut v = Vec::new();
+        let mut idx = 0;
+        let mut push = |t: VcpuType, trashing: bool, n: usize, v: &mut Vec<VcpuDesc>| {
+            for _ in 0..n {
+                v.push(desc(idx, idx, t, trashing));
+                idx += 1;
+            }
+        };
+        // Paper VM order (implied by Fig. 3's socket contents): the
+        // LLCF VMs precede the ConSpin VMs.
+        push(VcpuType::IoInt, true, 12, &mut v);
+        push(VcpuType::Llcf, false, 17, &mut v);
+        push(VcpuType::ConSpin, false, 7, &mut v);
+        push(VcpuType::Llco, true, 12, &mut v);
+        v
+    }
+
+    fn xeon3() -> (MachineSpec, Vec<SocketId>) {
+        // The Fig. 3 machine: 4 sockets × 4 pCPUs, one socket kept for
+        // dom0 → 3 usable sockets.
+        let m = MachineSpec::xeon_e5_4603();
+        (m, vec![SocketId(1), SocketId(2), SocketId(3)])
+    }
+
+    #[test]
+    fn first_level_balances_and_separates() {
+        let descs = fig3_descs();
+        let (_, sockets) = xeon3();
+        let per = first_level(&descs, &sockets);
+        assert_eq!(per.len(), 3);
+        for s in &per {
+            assert_eq!(s.len(), 16, "each socket gets 16 vCPUs");
+        }
+        // Socket 0: trashing first — 12 LLCO then 4 IOInt+.
+        let s0: Vec<VcpuType> = per[0].iter().map(|d| d.vtype).collect();
+        assert_eq!(s0.iter().filter(|t| **t == VcpuType::Llco).count(), 12);
+        assert_eq!(s0.iter().filter(|t| **t == VcpuType::IoInt).count(), 4);
+        // Socket 1: the remaining 8 IOInt+ and the first 8 LLCF.
+        let s1: Vec<VcpuType> = per[1].iter().map(|d| d.vtype).collect();
+        assert_eq!(s1.iter().filter(|t| **t == VcpuType::IoInt).count(), 8);
+        assert_eq!(s1.iter().filter(|t| **t == VcpuType::Llcf).count(), 8);
+        // Socket 2: 9 LLCF + 7 ConSpin-.
+        let s2: Vec<VcpuType> = per[2].iter().map(|d| d.vtype).collect();
+        assert_eq!(s2.iter().filter(|t| **t == VcpuType::Llcf).count(), 9);
+        assert_eq!(s2.iter().filter(|t| **t == VcpuType::ConSpin).count(), 7);
+    }
+
+    #[test]
+    fn fig3_worked_example() {
+        let descs = fig3_descs();
+        let (machine, sockets) = xeon3();
+        let table = QuantumTable::paper_defaults();
+        let plan = cluster_machine(&machine, &sockets, &descs, &table);
+
+        // Six clusters, as in the paper.
+        assert_eq!(plan.clusters.len(), 6, "clusters: {:#?}", plan.clusters);
+
+        // Socket 1 (first usable): a unique 1 ms cluster of 16.
+        let s1: Vec<&ClusterInfo> = plan
+            .clusters
+            .iter()
+            .filter(|c| c.socket == SocketId(1))
+            .collect();
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1[0].quantum_ns, aql_sim::time::MS);
+        assert_eq!(s1[0].vcpus.len(), 16);
+        assert_eq!(s1[0].pcpus.len(), 4);
+
+        // Socket 2: one 1 ms cluster (8 IOInt+) and one 90 ms cluster
+        // (8 LLCF), two pCPUs each.
+        let mut s2: Vec<&ClusterInfo> = plan
+            .clusters
+            .iter()
+            .filter(|c| c.socket == SocketId(2))
+            .collect();
+        s2.sort_by_key(|c| c.quantum_ns);
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s2[0].quantum_ns, aql_sim::time::MS);
+        assert_eq!(s2[0].vcpus.len(), 8);
+        assert_eq!(s2[0].pcpus.len(), 2);
+        assert_eq!(s2[1].quantum_ns, 90 * aql_sim::time::MS);
+        assert_eq!(s2[1].vcpus.len(), 8);
+        assert_eq!(s2[1].pcpus.len(), 2);
+
+        // Socket 3: 90 ms cluster of 8 LLCF, 1 ms cluster of 4
+        // ConSpin-, and a default 30 ms cluster of the leftovers
+        // (1 LLCF + 3 ConSpin-).
+        let mut s3: Vec<&ClusterInfo> = plan
+            .clusters
+            .iter()
+            .filter(|c| c.socket == SocketId(3))
+            .collect();
+        s3.sort_by_key(|c| (c.is_default, c.quantum_ns));
+        assert_eq!(s3.len(), 3);
+        let one_ms = s3.iter().find(|c| c.quantum_ns == aql_sim::time::MS && !c.is_default).unwrap();
+        assert_eq!(one_ms.vcpus.len(), 4);
+        let ninety = s3
+            .iter()
+            .find(|c| c.quantum_ns == 90 * aql_sim::time::MS)
+            .unwrap();
+        assert_eq!(ninety.vcpus.len(), 8);
+        assert_eq!(ninety.pcpus.len(), 2);
+        let default = s3.iter().find(|c| c.is_default).unwrap();
+        assert_eq!(default.quantum_ns, 30 * aql_sim::time::MS);
+        assert_eq!(default.vcpus.len(), 4);
+        assert_eq!(default.pcpus.len(), 1);
+
+        // Plan sanity: pools partition the machine.
+        let total_pool_pcpus: usize = plan.pools.iter().map(|p| p.pcpus.len()).sum();
+        assert_eq!(total_pool_pcpus, machine.total_pcpus());
+        // Every vCPU assigned to a valid pool.
+        for p in &plan.assignment {
+            assert!(p.index() < plan.pools.len());
+        }
+    }
+
+    #[test]
+    fn vcpus_conserved_by_plan() {
+        let descs = fig3_descs();
+        let (machine, sockets) = xeon3();
+        let plan = cluster_machine(&machine, &sockets, &descs, &QuantumTable::paper_defaults());
+        let mut seen: Vec<usize> = plan
+            .clusters
+            .iter()
+            .flat_map(|c| c.vcpus.iter().map(|v| v.index()))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..48).collect::<Vec<_>>(), "every vCPU in exactly one cluster");
+    }
+
+    #[test]
+    fn same_vm_vcpus_stay_on_one_socket_when_possible() {
+        // Two 4-vCPU LLCF VMs and 8 single-vCPU LoLCF VMs over 2
+        // sockets: each SMP VM must land whole on a socket.
+        let mut descs = Vec::new();
+        for i in 0..4 {
+            descs.push(desc(i, 0, VcpuType::Llcf, false));
+        }
+        for i in 4..8 {
+            descs.push(desc(i, 1, VcpuType::Llcf, false));
+        }
+        for i in 8..16 {
+            descs.push(desc(i, 2 + i, VcpuType::Lolcf, false));
+        }
+        let machine = MachineSpec::custom("2s", 2, 4, CacheSpec::i7_3770());
+        let sockets = vec![SocketId(0), SocketId(1)];
+        let per = first_level(&descs, &sockets);
+        for vm in [VmId(0), VmId(1)] {
+            let on_s0 = per[0].iter().filter(|d| d.vm == vm).count();
+            let on_s1 = per[1].iter().filter(|d| d.vm == vm).count();
+            assert!(
+                on_s0 == 0 || on_s1 == 0,
+                "{vm} split across sockets: {on_s0}/{on_s1}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_agnostic_socket_forms_default_cluster() {
+        let descs: Vec<VcpuDesc> = (0..8)
+            .map(|i| desc(i, i, VcpuType::Llco, true))
+            .collect();
+        let machine = MachineSpec::custom("1s", 1, 2, CacheSpec::i7_3770());
+        let plan = cluster_machine(&machine, &[SocketId(0)], &descs, &QuantumTable::paper_defaults());
+        assert_eq!(plan.clusters.len(), 1);
+        assert!(plan.clusters[0].is_default);
+        assert_eq!(plan.clusters[0].quantum_ns, 30 * aql_sim::time::MS);
+        assert_eq!(plan.clusters[0].vcpus.len(), 8);
+    }
+
+    #[test]
+    fn fewer_vcpus_than_pcpus_leaves_spares_in_a_pool() {
+        let descs = vec![desc(0, 0, VcpuType::IoInt, false)];
+        let machine = MachineSpec::custom("1s", 1, 4, CacheSpec::i7_3770());
+        let plan = cluster_machine(&machine, &[SocketId(0)], &descs, &QuantumTable::paper_defaults());
+        // One 1 ms cluster with one pCPU; three spare pCPUs pooled.
+        let total_pcpus: usize = plan.pools.iter().map(|p| p.pcpus.len()).sum();
+        assert_eq!(total_pcpus, 4);
+        assert_eq!(plan.clusters.len(), 1);
+        assert_eq!(plan.clusters[0].pcpus.len(), 1);
+        assert_eq!(plan.pools.len(), 2);
+    }
+
+    #[test]
+    fn excluded_socket_pcpus_go_idle() {
+        let descs = vec![desc(0, 0, VcpuType::Llcf, false)];
+        let machine = MachineSpec::custom("2s", 2, 2, CacheSpec::i7_3770());
+        let plan = cluster_machine(&machine, &[SocketId(1)], &descs, &QuantumTable::paper_defaults());
+        // The cluster must live on socket 1.
+        assert_eq!(plan.clusters[0].socket, SocketId(1));
+        for p in &plan.clusters[0].pcpus {
+            assert!(p.index() >= 2, "cluster pCPU on the wrong socket");
+        }
+        let total_pcpus: usize = plan.pools.iter().map(|p| p.pcpus.len()).sum();
+        assert_eq!(total_pcpus, 4);
+    }
+
+    #[test]
+    fn annotated_labels() {
+        assert_eq!(desc(0, 0, VcpuType::IoInt, true).annotated(), "IOInt+");
+        assert_eq!(desc(0, 0, VcpuType::ConSpin, false).annotated(), "ConSpin-");
+        assert_eq!(desc(0, 0, VcpuType::Llcf, false).annotated(), "LLCF");
+    }
+}

@@ -1,0 +1,288 @@
+//! Cursor computation — equations (1)–(5) of the paper (§3.3.1).
+//!
+//! Each monitoring period, four low-level metrics are collected per
+//! vCPU: IO-event count, spin (PLE) count, LLC reference ratio and LLC
+//! miss ratio. They are normalised into five percentage *cursors*, one
+//! per application type, "a probability [of how] close the vCPU is to
+//! a vCPU type". The three CPU-burn cursors are coupled by equation
+//! (2): `LoLCF + LLCF + LLCO = 100`.
+
+use aql_hv::apptype::VcpuType;
+use aql_mem::PmuSample;
+
+/// Normalisation thresholds for the cursor equations.
+///
+/// These are the `*_LIMIT` constants of §3.3.1. Like the paper's, they
+/// are platform-dependent; the defaults are calibrated for this
+/// simulator's PMU model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CursorLimits {
+    /// IO events per monitoring period at which a vCPU is 100% IOInt
+    /// (`IOInt_LIMIT`).
+    pub io_limit: f64,
+    /// PLE exits per monitoring period at which a vCPU is 100% ConSpin
+    /// (`ConSpin_LIMIT`).
+    pub conspin_limit: f64,
+    /// LLC references per kilo-instruction below which a vCPU leans
+    /// LoLCF (`LLC_RR_LIMIT`): "a LoLCF application makes very few LLC
+    /// references".
+    pub llc_rr_limit: f64,
+    /// Normalisation constant of the LLCF/LLCO miss-ratio ramp
+    /// (`LLC_MR_LIMIT`): the LLCF and LLCO cursors balance at half
+    /// this value. 120 puts the balance at a 60% miss ratio, well
+    /// between a trashed-but-friendly footprint (≤55%) and a
+    /// structurally overflowing one (≥80%).
+    pub llc_mr_limit: f64,
+}
+
+impl Default for CursorLimits {
+    fn default() -> Self {
+        CursorLimits {
+            io_limit: 1.0,
+            conspin_limit: 1.0,
+            llc_rr_limit: 10.0,
+            llc_mr_limit: 120.0,
+        }
+    }
+}
+
+/// The five per-type cursors of one monitoring period, in percent.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Cursors {
+    /// `IOInt_cur` (equation 1).
+    pub ioint: f64,
+    /// `ConSpin_cur` (equation 1).
+    pub conspin: f64,
+    /// `LoLCF_cur` (equation 3).
+    pub lolcf: f64,
+    /// `LLCF_cur` (equation 4).
+    pub llcf: f64,
+    /// `LLCO_cur` (equation 5).
+    pub llco: f64,
+}
+
+impl Cursors {
+    /// Computes all five cursors from a PMU sample.
+    pub fn from_sample(sample: &PmuSample, limits: &CursorLimits) -> Self {
+        // Equation (1), for IOInt and ConSpin.
+        let ramp = |level: f64, limit: f64| -> f64 {
+            if limit <= 0.0 {
+                return 0.0;
+            }
+            if level < limit {
+                level * 100.0 / limit
+            } else {
+                100.0
+            }
+        };
+        let ioint = ramp(sample.io_events as f64, limits.io_limit);
+        let conspin = ramp(sample.ple_exits as f64, limits.conspin_limit);
+
+        let rr = sample.llc_rr_per_kilo_instr();
+        let mr = sample.llc_miss_ratio_pct();
+
+        // Equation (3): LoLCF leans on the absence of LLC references.
+        let lolcf = if rr < limits.llc_rr_limit {
+            (limits.llc_rr_limit - rr) * 100.0 / limits.llc_rr_limit
+        } else {
+            0.0
+        };
+
+        // Equation (4): LLCF needs a low LLC miss ratio, bounded so
+        // equation (2) can hold.
+        let llcf = if mr < limits.llc_mr_limit {
+            let by_miss = (limits.llc_mr_limit - mr) * 100.0 / limits.llc_mr_limit;
+            (100.0 - lolcf).min(by_miss)
+        } else {
+            0.0
+        };
+
+        // Equation (5): the CPU-burn remainder is trashing.
+        let llco = 100.0 - lolcf - llcf;
+
+        Cursors {
+            ioint,
+            conspin,
+            lolcf,
+            llcf,
+            llco,
+        }
+    }
+
+    /// Cursor values in [`VcpuType::ALL`] order
+    /// (IOInt, ConSpin, LLCF, LoLCF, LLCO).
+    pub fn as_array(&self) -> [f64; 5] {
+        [self.ioint, self.conspin, self.llcf, self.lolcf, self.llco]
+    }
+
+    /// The cursor value for one type.
+    pub fn get(&self, t: VcpuType) -> f64 {
+        match t {
+            VcpuType::IoInt => self.ioint,
+            VcpuType::ConSpin => self.conspin,
+            VcpuType::Llcf => self.llcf,
+            VcpuType::Lolcf => self.lolcf,
+            VcpuType::Llco => self.llco,
+        }
+    }
+
+    /// The type with the highest cursor (ties broken in
+    /// [`VcpuType::ALL`] order, which is deterministic).
+    pub fn argmax(&self) -> VcpuType {
+        let mut best = VcpuType::IoInt;
+        let mut best_v = f64::NEG_INFINITY;
+        for t in VcpuType::ALL {
+            let v = self.get(t);
+            if v > best_v {
+                best_v = v;
+                best = t;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample(
+        io: u64,
+        ple: u64,
+        instructions: f64,
+        llc_refs: f64,
+        llc_misses: f64,
+    ) -> PmuSample {
+        PmuSample {
+            instructions,
+            llc_refs,
+            llc_misses,
+            io_events: io,
+            ple_exits: ple,
+            ran_ns: 1,
+            period_ns: 30_000_000,
+        }
+    }
+
+    #[test]
+    fn heavy_io_saturates_ioint_cursor() {
+        let limits = CursorLimits::default();
+        let c = Cursors::from_sample(&sample(50, 0, 1e6, 10.0, 1.0), &limits);
+        assert_eq!(c.ioint, 100.0);
+        assert_eq!(c.conspin, 0.0);
+        assert_eq!(c.argmax(), VcpuType::IoInt);
+    }
+
+    #[test]
+    fn io_cursor_ramps_linearly() {
+        let limits = CursorLimits {
+            io_limit: 10.0,
+            ..Default::default()
+        };
+        let c = Cursors::from_sample(&sample(5, 0, 1e6, 0.0, 0.0), &limits);
+        assert_eq!(c.ioint, 50.0);
+    }
+
+    #[test]
+    fn spinner_saturates_conspin_cursor() {
+        let limits = CursorLimits::default();
+        let c = Cursors::from_sample(&sample(0, 500, 1e6, 1.0, 0.0), &limits);
+        assert_eq!(c.conspin, 100.0);
+        assert_eq!(c.argmax(), VcpuType::ConSpin);
+    }
+
+    #[test]
+    fn quiet_cache_reads_lolcf() {
+        let limits = CursorLimits::default();
+        // 1M instructions, almost no LLC references.
+        let c = Cursors::from_sample(&sample(0, 0, 1e6, 100.0, 10.0), &limits);
+        assert!(c.lolcf > 90.0, "lolcf = {}", c.lolcf);
+        assert_eq!(c.argmax(), VcpuType::Lolcf);
+    }
+
+    #[test]
+    fn warm_llcf_pattern_reads_llcf() {
+        let limits = CursorLimits::default();
+        // 75 refs per kilo-instruction, 15% miss ratio.
+        let c = Cursors::from_sample(&sample(0, 0, 1e6, 75_000.0, 11_250.0), &limits);
+        assert_eq!(c.lolcf, 0.0);
+        assert!(c.llcf > 60.0, "llcf = {}", c.llcf);
+        assert_eq!(c.argmax(), VcpuType::Llcf);
+    }
+
+    #[test]
+    fn trashing_pattern_reads_llco() {
+        let limits = CursorLimits::default();
+        // High reference rate, 95% miss ratio: decisively trashing.
+        let c = Cursors::from_sample(&sample(0, 0, 1e6, 100_000.0, 95_000.0), &limits);
+        assert_eq!(c.lolcf, 0.0);
+        assert!(c.llco > 3.0 * c.llcf, "llco must dominate: {c:?}");
+        assert_eq!(c.argmax(), VcpuType::Llco);
+    }
+
+    #[test]
+    fn contended_llcf_still_reads_llcf() {
+        // An LLC-friendly app whose miss ratio is inflated by
+        // co-located trashers (the common consolidated case) must
+        // still lean LLCF: the LLCF/LLCO balance sits at
+        // llc_mr_limit / 2 = 60% misses.
+        let limits = CursorLimits::default();
+        let c = Cursors::from_sample(&sample(0, 0, 1e6, 75_000.0, 28_000.0), &limits);
+        assert!(c.llcf > c.llco, "37% miss ratio should stay LLCF: {c:?}");
+        assert_eq!(c.argmax(), VcpuType::Llcf);
+    }
+
+    #[test]
+    fn idle_vcpu_defaults_to_lolcf() {
+        // No instructions at all: RR = 0, MR = 0 → LoLCF 100.
+        let c = Cursors::from_sample(&sample(0, 0, 0.0, 0.0, 0.0), &CursorLimits::default());
+        assert_eq!(c.lolcf, 100.0);
+        assert_eq!(c.llco, 0.0);
+    }
+
+    #[test]
+    fn equation2_on_hand_picked_samples() {
+        let limits = CursorLimits::default();
+        for s in [
+            sample(3, 7, 1e6, 40_000.0, 12_000.0),
+            sample(0, 0, 1e6, 8_000.0, 100.0),
+            sample(9, 0, 5e5, 60_000.0, 55_000.0),
+        ] {
+            let c = Cursors::from_sample(&s, &limits);
+            assert!(
+                (c.lolcf + c.llcf + c.llco - 100.0).abs() < 1e-9,
+                "equation (2) violated: {c:?}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Equation (2) plus range invariants for arbitrary inputs.
+        #[test]
+        fn cursor_invariants(
+            io in 0u64..10_000,
+            ple in 0u64..10_000,
+            instr in 0.0f64..1e9,
+            refs in 0.0f64..1e8,
+            miss_frac in 0.0f64..1.0,
+        ) {
+            let s = sample(io, ple, instr, refs, refs * miss_frac);
+            let c = Cursors::from_sample(&s, &CursorLimits::default());
+            for v in c.as_array() {
+                prop_assert!((0.0..=100.0 + 1e-9).contains(&v), "cursor out of range: {c:?}");
+            }
+            prop_assert!((c.lolcf + c.llcf + c.llco - 100.0).abs() < 1e-6,
+                "equation (2) violated: {c:?}");
+        }
+
+        /// Monotonicity: more IO events never lower the IOInt cursor.
+        #[test]
+        fn ioint_monotone(io in 0u64..100, extra in 0u64..100) {
+            let limits = CursorLimits::default();
+            let a = Cursors::from_sample(&sample(io, 0, 1e6, 0.0, 0.0), &limits);
+            let b = Cursors::from_sample(&sample(io + extra, 0, 1e6, 0.0, 0.0), &limits);
+            prop_assert!(b.ioint >= a.ioint);
+        }
+    }
+}

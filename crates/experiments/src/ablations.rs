@@ -1,0 +1,320 @@
+//! Ablation studies over the design choices DESIGN.md calls out.
+//!
+//! These go beyond the paper's own evaluation and isolate one
+//! mechanism each:
+//!
+//! * [`lock_fabric`] — FIFO ticket lock vs test-and-set: the
+//!   lock-waiter-preemption pathology (\[39\] in the paper) that strict
+//!   FIFO hand-off adds under consolidation.
+//! * [`ple_yield`] — PLE directed yield on/off: how much of the spin
+//!   waste a hypervisor-side yield recovers at each quantum.
+//! * [`vtrs_window`] — the recognition window `n`: reactivity versus
+//!   stability (the paper settles on n = 4, §3.3.1).
+//! * [`boost`] — Xen's BOOST: exclusive-IO latency with wake-up
+//!   boosting disabled (the paper's §3.4.2 discussion of Fig. 2(a)).
+//! * [`substep`] — engine fidelity: key metrics under coarser/finer
+//!   co-simulation sub-steps (a model-validity check, not a paper
+//!   artifact).
+
+use aql_baselines::xen_credit;
+use aql_core::{AqlSched, AqlSchedConfig, VtrsConfig};
+use aql_hv::apptype::VcpuType;
+use aql_hv::policy::FixedQuantumPolicy;
+use aql_hv::workload::{GuestWorkload, WorkloadMetrics};
+use aql_hv::VmSpec;
+use aql_mem::CacheSpec;
+use aql_sim::time::{fmt_dur, MS, US};
+use aql_workloads::{IoServer, IoServerCfg, SpinJob, SpinJobCfg};
+
+use crate::emit::Table;
+use crate::fig2::{panel_scenario, Panel};
+use crate::fig6::scenario;
+use crate::runner::{Scenario, ScenarioVm};
+
+fn spin_scenario(fifo: bool, yield_on_ple: bool) -> Scenario {
+    let mut s = panel_scenario(Panel::ConSpin, 4);
+    // Replace the baseline VM with one using the requested lock fabric.
+    s.vms[0] = ScenarioVm::new(VcpuType::ConSpin, move |seed| {
+        let cfg = SpinJobCfg {
+            fifo_lock: fifo,
+            yield_on_ple,
+            ..SpinJobCfg::kernbench(2)
+        };
+        let spec = VmSpec {
+            weight: 512,
+            ..VmSpec::smp("baseline", 2)
+        };
+        (
+            spec,
+            Box::new(SpinJob::new("baseline", cfg, seed)) as Box<dyn GuestWorkload>,
+        )
+    });
+    s
+}
+
+/// FIFO ticket lock vs test-and-set under consolidation.
+pub fn lock_fabric(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Ablation: lock fabric (ConSpin items, higher is better)",
+        &["quantum", "test-and-set", "fifo ticket", "fifo/tas"],
+    );
+    for q in [MS, 30 * MS, 90 * MS] {
+        let mut items = Vec::new();
+        for fifo in [false, true] {
+            let mut s = spin_scenario(fifo, false);
+            if quick {
+                s = s.quick();
+            }
+            let report = s.run(Box::new(FixedQuantumPolicy::new(q)));
+            let WorkloadMetrics::Spin { work_items, .. } = report.vms[0].metrics else {
+                panic!("expected Spin metrics");
+            };
+            items.push(work_items);
+        }
+        table.row(vec![
+            fmt_dur(q),
+            items[0].to_string(),
+            items[1].to_string(),
+            format!("{:.2}", items[1] as f64 / items[0].max(1) as f64),
+        ]);
+    }
+    table
+}
+
+/// PLE directed yield on/off.
+pub fn ple_yield(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Ablation: PLE directed yield (ConSpin items, higher is better)",
+        &["quantum", "no yield", "directed yield", "yield/no-yield"],
+    );
+    for q in [MS, 30 * MS, 90 * MS] {
+        let mut items = Vec::new();
+        for yield_on_ple in [false, true] {
+            let mut s = spin_scenario(false, yield_on_ple);
+            if quick {
+                s = s.quick();
+            }
+            let report = s.run(Box::new(FixedQuantumPolicy::new(q)));
+            let WorkloadMetrics::Spin { work_items, .. } = report.vms[0].metrics else {
+                panic!("expected Spin metrics");
+            };
+            items.push(work_items);
+        }
+        table.row(vec![
+            fmt_dur(q),
+            items[0].to_string(),
+            items[1].to_string(),
+            format!("{:.2}", items[1] as f64 / items[0].max(1) as f64),
+        ]);
+    }
+    table
+}
+
+/// The vTRS window `n`: migrations and IO latency on scenario S5.
+pub fn vtrs_window(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Ablation: vTRS window n (scenario S5)",
+        &["n", "reclusterings", "pool migrations", "IOInt norm vs Xen"],
+    );
+    let mut base = scenario(5);
+    if quick {
+        base = base.quick();
+    }
+    let xen = base.run(Box::new(xen_credit()));
+    for n in [1usize, 2, 4, 8] {
+        let cfg = AqlSchedConfig {
+            vtrs: VtrsConfig {
+                window: n,
+                ..VtrsConfig::default()
+            },
+            ..AqlSchedConfig::default()
+        };
+        let sim = base.run_sim(Box::new(AqlSched::new(cfg)));
+        let report = sim.report();
+        let policy = sim
+            .policy()
+            .as_any()
+            .downcast_ref::<AqlSched>()
+            .expect("AqlSched");
+        let migrations: u64 = report
+            .vms
+            .iter()
+            .flat_map(|v| v.vcpu_pool_migrations.iter())
+            .sum();
+        let io_norm = crate::runner::class_normalized(&base, &report, &xen, VcpuType::IoInt);
+        table.row(vec![
+            n.to_string(),
+            policy.reclusterings().to_string(),
+            migrations.to_string(),
+            crate::emit::fmt_ratio(io_norm),
+        ]);
+    }
+    table
+}
+
+/// BOOST's contribution: exclusive IO latency with and without wake-up
+/// boosting. Without BOOST the wake waits a round-robin turn, so the
+/// latency approaches (co-runners × quantum).
+pub fn boost(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Ablation: BOOST (exclusive-IO mean latency, ms)",
+        &["quantum", "boost on", "boost off (never-blocked co-runner wakes)"],
+    );
+    // "Boost off" is emulated by a server that never blocks (its wakes
+    // never qualify for BOOST), with identical arrivals and service.
+    for q in [MS, 30 * MS, 90 * MS] {
+        let mut row = vec![fmt_dur(q)];
+        for boosted in [true, false] {
+            let mut s = panel_scenario(Panel::ExclusiveIo, 4);
+            if !boosted {
+                s.vms[0] = ScenarioVm::new(VcpuType::IoInt, |seed| {
+                    let base = IoServerCfg::exclusive(150.0);
+                    let cfg = IoServerCfg {
+                        background: Some(aql_mem::MemProfile {
+                            wss_bytes: 16 * 1024,
+                            deep_refs_per_instr: 0.001,
+                            base_ns_per_instr: 0.40,
+                        }),
+                        ..base
+                    };
+                    (
+                        VmSpec::single("baseline"),
+                        Box::new(IoServer::new("baseline", cfg, seed))
+                            as Box<dyn GuestWorkload>,
+                    )
+                });
+            }
+            if quick {
+                s = s.quick();
+            }
+            let report = s.run(Box::new(FixedQuantumPolicy::new(q)));
+            let WorkloadMetrics::Io { latency, .. } = &report.vms[0].metrics else {
+                panic!("expected Io metrics");
+            };
+            row.push(format!("{:.2}", latency.mean_ns / 1e6));
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Engine fidelity: key directional metrics under different
+/// co-simulation sub-steps.
+pub fn substep(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Ablation: engine sub-step (S5 under AQL, key metrics)",
+        &["substep", "IOInt latency (ms)", "ConSpin items", "utilisation"],
+    );
+    for sub in [50 * US, 100 * US, 250 * US, 500 * US] {
+        let mut s = scenario(5);
+        s.substep_ns = sub;
+        if quick {
+            s = s.quick();
+        }
+        let report = s.run(Box::new(AqlSched::paper_defaults()));
+        let mut lat = 0.0;
+        let mut n = 0.0;
+        let mut items = 0u64;
+        for (i, vm) in report.vms.iter().enumerate() {
+            match &vm.metrics {
+                WorkloadMetrics::Io { latency, .. } => {
+                    lat += latency.mean_ns;
+                    n += 1.0;
+                }
+                WorkloadMetrics::Spin { work_items, .. } => items += work_items,
+                _ => {
+                    let _ = i;
+                }
+            }
+        }
+        table.row(vec![
+            fmt_dur(sub),
+            format!("{:.2}", lat / n / 1e6),
+            items.to_string(),
+            format!("{:.3}", report.utilisation()),
+        ]);
+    }
+    table
+}
+
+/// §4.3 scalability: simulation cost and policy cost as the machine
+/// and population grow; the policy side must scale as O(max(m, n)).
+pub fn scalability() -> Table {
+    use std::time::Instant;
+    let mut table = Table::new(
+        "Scalability: wall-clock per simulated second vs machine size",
+        &["sockets", "pcpus", "vcpus", "wall ms / sim s", "reclusterings"],
+    );
+    for sockets in [1usize, 2, 4, 8] {
+        let cores = 4;
+        let machine = aql_hv::MachineSpec::custom(
+            &format!("scale-{sockets}s"),
+            sockets,
+            cores,
+            CacheSpec::xeon_e5_4603(),
+        );
+        let vcpus = sockets * cores * 4;
+        let mut vms: Vec<ScenarioVm> = Vec::new();
+        for i in 0..vcpus {
+            match i % 4 {
+                0 => vms.push(crate::fig6::io_vm(&format!("web-{i}"))),
+                1 => vms.push(crate::fig6::walk_vm(VcpuType::Llcf, &format!("llcf-{i}"))),
+                2 => vms.push(crate::fig6::walk_vm(VcpuType::Lolcf, &format!("lolcf-{i}"))),
+                _ => vms.push(crate::fig6::walk_vm(VcpuType::Llco, &format!("llco-{i}"))),
+            }
+        }
+        let mut s = Scenario::new(&format!("scale-{sockets}"), machine, vms);
+        s.warmup_ns = 200 * MS;
+        s.measure_ns = aql_sim::time::SEC;
+        let t0 = Instant::now();
+        let sim = s.run_sim(Box::new(AqlSched::paper_defaults()));
+        let wall = t0.elapsed().as_secs_f64();
+        let sim_s = (s.warmup_ns + s.measure_ns) as f64 / 1e9;
+        let policy = sim
+            .policy()
+            .as_any()
+            .downcast_ref::<AqlSched>()
+            .expect("AqlSched");
+        table.row(vec![
+            sockets.to_string(),
+            (sockets * cores).to_string(),
+            vcpus.to_string(),
+            format!("{:.0}", wall / sim_s * 1e3),
+            policy.reclusterings().to_string(),
+        ]);
+    }
+    table
+}
+
+/// Runs every ablation.
+pub fn run_all(quick: bool) -> Vec<Table> {
+    vec![
+        lock_fabric(quick),
+        ple_yield(quick),
+        vtrs_window(quick),
+        boost(quick),
+        substep(quick),
+        scalability(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_fabric_table_shape() {
+        let t = lock_fabric(true);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.headers.len(), 4);
+    }
+
+    #[test]
+    fn scalability_reports_all_sizes() {
+        let t = scalability();
+        assert_eq!(t.rows.len(), 4);
+        // vCPU counts grow with the machine.
+        let v: Vec<usize> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}

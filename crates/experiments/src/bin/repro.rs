@@ -1,0 +1,110 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] <command>
+//!
+//! commands:
+//!   fig2            calibration panels (a)-(f) + lock-duration inset
+//!   fig2a .. fig2f  one calibration panel
+//!   fig2lock        the lock-duration inset only
+//!   fig4            vTRS cursor traces (5 representative apps)
+//!   fig5            validation sweep over the whole catalog
+//!   fig6left        scenarios S1-S5, AQL vs Xen
+//!   fig6right       the 4-socket complex case
+//!   fig7            quantum-customisation ablation
+//!   fig8            comparison with vTurbo / vSlicer / Microsliced
+//!   table3          application type recognition
+//!   table5          clustering per scenario
+//!   table6          qualitative feature matrix
+//!   overhead        vTRS + clustering cost (§4.3)
+//!   fairness        Jain fairness under AQL vs Xen
+//!   all             everything above
+//! ```
+//!
+//! Each table is printed to stdout and saved as CSV under `results/`.
+
+use std::process::ExitCode;
+
+use aql_experiments::emit::results_dir;
+use aql_experiments::{ablations, fig2, fig4, fig5, fig6, fig7, fig8, tables, Table};
+
+fn save_and_print(tables: &[Table]) {
+    let dir = results_dir();
+    for t in tables {
+        t.print();
+        match t.save_csv(&dir) {
+            Ok(path) => println!("(saved {})", path.display()),
+            Err(e) => eprintln!("warning: could not save CSV: {e}"),
+        }
+        println!();
+    }
+}
+
+fn run(cmd: &str, quick: bool) -> Result<Vec<Table>, String> {
+    Ok(match cmd {
+        "fig2" => fig2::run_all(quick),
+        "fig2a" => vec![fig2::run_panel(fig2::Panel::ExclusiveIo, quick)],
+        "fig2b" => vec![fig2::run_panel(fig2::Panel::HeterogeneousIo, quick)],
+        "fig2c" => vec![fig2::run_panel(fig2::Panel::ConSpin, quick)],
+        "fig2d" => vec![fig2::run_panel(fig2::Panel::Llcf, quick)],
+        "fig2e" => vec![fig2::run_panel(fig2::Panel::Lolcf, quick)],
+        "fig2f" => vec![fig2::run_panel(fig2::Panel::Llco, quick)],
+        "fig2lock" => vec![fig2::run_lock_inset(quick)],
+        "fig4" => fig4::run(quick),
+        "fig5" => vec![fig5::run(&[], quick)],
+        "fig6left" => vec![fig6::run_left(quick)],
+        "fig6right" => {
+            let (norm, clusters) = fig6::run_right(quick);
+            vec![norm, clusters]
+        }
+        "fig7" => vec![fig7::run(quick)],
+        "fig8" => vec![fig8::run(quick)],
+        "table3" => vec![tables::table3(quick)],
+        "table5" => vec![tables::table5(quick)],
+        "table6" => vec![tables::table6()],
+        "overhead" => vec![tables::overhead()],
+        "fairness" => vec![tables::fairness(quick)],
+        "ablations" => ablations::run_all(quick),
+        "scalability" => vec![ablations::scalability()],
+        other => return Err(format!("unknown command '{other}'")),
+    })
+}
+
+const ALL: [&str; 14] = [
+    "fig2", "fig4", "fig5", "fig6left", "fig6right", "fig7", "fig8", "table3", "table5",
+    "table6", "overhead", "fairness", "ablations", "scalability",
+];
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = if let Some(pos) = args.iter().position(|a| a == "--quick") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    if args.is_empty() {
+        eprintln!("usage: repro [--quick] <command>...");
+        eprintln!("commands: {} | all", ALL.join(" | "));
+        eprintln!("          fig2a..fig2f fig2lock (individual panels)");
+        return ExitCode::FAILURE;
+    }
+    let cmds: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for c in cmds {
+        eprintln!(">> {c}{}", if quick { " (quick)" } else { "" });
+        match run(c, quick) {
+            Ok(tables) => save_and_print(&tables),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,329 @@
+//! Fig. 2 — quantum-length calibration.
+//!
+//! Six panels measure one application type each, colocated on a single
+//! pCPU with 2 and 4 vCPUs sharing it, across quantum lengths
+//! {1, 10, 30, 60, 90} ms; values are normalised over the 30 ms run
+//! (smaller is better). The rightmost inset measures the average lock
+//! duration of the ConSpin benchmark against the quantum length.
+
+use aql_baselines::xen_credit;
+use aql_hv::apptype::VcpuType;
+use aql_hv::policy::FixedQuantumPolicy;
+use aql_hv::workload::{GuestWorkload, WorkloadMetrics};
+use aql_hv::{MachineSpec, VmSpec};
+use aql_mem::CacheSpec;
+use aql_sim::time::{fmt_dur, MS};
+use aql_workloads::{IoServer, IoServerCfg, MemWalk, SpinJob, SpinJobCfg};
+
+use crate::emit::{fmt_ratio, Table};
+use crate::runner::{cost_of, normalized, Scenario, ScenarioVm};
+
+/// The calibration sweep: {1, 10, 30, 60, 90} ms.
+pub const QUANTA: [u64; 5] = [MS, 10 * MS, 30 * MS, 60 * MS, 90 * MS];
+/// The normalisation baseline (Xen default).
+pub const BASE_QUANTUM: u64 = 30 * MS;
+
+fn one_core() -> MachineSpec {
+    MachineSpec::custom("calib-1core", 1, 1, CacheSpec::i7_3770())
+}
+
+fn lolcf_filler(i: usize) -> ScenarioVm {
+    ScenarioVm::new(VcpuType::Lolcf, move |_| {
+        let spec = CacheSpec::i7_3770();
+        let name = format!("filler-lolcf-{i}");
+        (
+            VmSpec::single(&name),
+            Box::new(MemWalk::lolcf(&name, &spec)) as Box<dyn GuestWorkload>,
+        )
+    })
+}
+
+fn llco_filler(i: usize) -> ScenarioVm {
+    ScenarioVm::new(VcpuType::Llco, move |_| {
+        let spec = CacheSpec::i7_3770();
+        let name = format!("filler-llco-{i}");
+        (
+            VmSpec::single(&name),
+            Box::new(MemWalk::llco(&name, &spec)) as Box<dyn GuestWorkload>,
+        )
+    })
+}
+
+/// The six calibration panels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// (a) Exclusive IO.
+    ExclusiveIo,
+    /// (b) Heterogeneous IO (web + CGI).
+    HeterogeneousIo,
+    /// (c) Spin-lock concurrency.
+    ConSpin,
+    /// (d) LLC-friendly.
+    Llcf,
+    /// (e) Low-level-cache friendly.
+    Lolcf,
+    /// (f) Trashing.
+    Llco,
+}
+
+impl Panel {
+    /// Paper panel letter.
+    pub fn letter(self) -> &'static str {
+        match self {
+            Panel::ExclusiveIo => "a",
+            Panel::HeterogeneousIo => "b",
+            Panel::ConSpin => "c",
+            Panel::Llcf => "d",
+            Panel::Lolcf => "e",
+            Panel::Llco => "f",
+        }
+    }
+
+    /// Panel title as in Fig. 2.
+    pub fn title(self) -> &'static str {
+        match self {
+            Panel::ExclusiveIo => "Excl. IOInt",
+            Panel::HeterogeneousIo => "Hetero. IOInt",
+            Panel::ConSpin => "ConSpin",
+            Panel::Llcf => "LLCF",
+            Panel::Lolcf => "LoLCF",
+            Panel::Llco => "LLCO",
+        }
+    }
+
+    /// All panels in paper order.
+    pub const ALL: [Panel; 6] = [
+        Panel::ExclusiveIo,
+        Panel::HeterogeneousIo,
+        Panel::ConSpin,
+        Panel::Llcf,
+        Panel::Lolcf,
+        Panel::Llco,
+    ];
+}
+
+/// The ConSpin job used for calibration (kernbench-like worker
+/// threads with 60 ms barrier phases, as PARSEC kernels are
+/// structured).
+pub fn calibration_spin_cfg(threads: usize) -> SpinJobCfg {
+    SpinJobCfg::kernbench(threads)
+}
+
+/// Builds the panel's scenario for `k` vCPUs sharing the pCPU.
+pub fn panel_scenario(panel: Panel, k: usize) -> Scenario {
+    assert!(k >= 2, "calibration shares a pCPU between at least 2 vCPUs");
+    let mut vms: Vec<ScenarioVm> = Vec::new();
+    let fillers_needed: usize = match panel {
+        Panel::ExclusiveIo => {
+            vms.push(ScenarioVm::new(VcpuType::IoInt, |seed| {
+                (
+                    VmSpec::single("baseline"),
+                    Box::new(IoServer::new(
+                        "baseline",
+                        IoServerCfg::exclusive(150.0),
+                        seed,
+                    )) as Box<dyn GuestWorkload>,
+                )
+            }));
+            k - 1
+        }
+        Panel::HeterogeneousIo => {
+            vms.push(ScenarioVm::new(VcpuType::IoInt, |seed| {
+                (
+                    VmSpec::single("baseline"),
+                    Box::new(IoServer::new(
+                        "baseline",
+                        IoServerCfg::heterogeneous(120.0),
+                        seed,
+                    )) as Box<dyn GuestWorkload>,
+                )
+            }));
+            k - 1
+        }
+        Panel::ConSpin => {
+            vms.push(ScenarioVm::new(VcpuType::ConSpin, |seed| {
+                // Weight proportional to vCPU count, the standard
+                // sizing, so each vCPU earns a full single-VM share.
+                let spec = VmSpec {
+                    weight: 512,
+                    ..VmSpec::smp("baseline", 2)
+                };
+                (
+                    spec,
+                    Box::new(SpinJob::new("baseline", calibration_spin_cfg(2), seed))
+                        as Box<dyn GuestWorkload>,
+                )
+            }));
+            k - 2
+        }
+        Panel::Llcf => {
+            vms.push(ScenarioVm::new(VcpuType::Llcf, |_| {
+                let spec = CacheSpec::i7_3770();
+                (
+                    VmSpec::single("baseline"),
+                    Box::new(MemWalk::llcf("baseline", &spec)) as Box<dyn GuestWorkload>,
+                )
+            }));
+            k - 1
+        }
+        Panel::Lolcf => {
+            vms.push(ScenarioVm::new(VcpuType::Lolcf, |_| {
+                let spec = CacheSpec::i7_3770();
+                (
+                    VmSpec::single("baseline"),
+                    Box::new(MemWalk::lolcf("baseline", &spec)) as Box<dyn GuestWorkload>,
+                )
+            }));
+            k - 1
+        }
+        Panel::Llco => {
+            vms.push(ScenarioVm::new(VcpuType::Llco, |_| {
+                let spec = CacheSpec::i7_3770();
+                (
+                    VmSpec::single("baseline"),
+                    Box::new(MemWalk::llco("baseline", &spec)) as Box<dyn GuestWorkload>,
+                )
+            }));
+            k - 1
+        }
+    };
+    for i in 0..fillers_needed {
+        // LLCF needs disturbers (the paper's trashing co-runners);
+        // everyone else shares with neutral low-level-cache fillers.
+        let filler = match panel {
+            Panel::Llcf | Panel::Llco => llco_filler(i),
+            _ => lolcf_filler(i),
+        };
+        vms.push(filler);
+    }
+    Scenario::new(
+        &format!("fig2{}-k{k}", panel.letter()),
+        one_core(),
+        vms,
+    )
+}
+
+/// Measures one panel: normalised cost per quantum for each sharing
+/// level `k ∈ {2, 4}`.
+pub fn run_panel(panel: Panel, quick: bool) -> Table {
+    let mut table = Table::new(
+        &format!("Fig2({}) {}", panel.letter(), panel.title()),
+        &["quantum", "norm k=2", "norm k=4"],
+    );
+    let mut cols: Vec<Vec<Option<f64>>> = Vec::new();
+    for k in [2usize, 4] {
+        let mut scenario = panel_scenario(panel, k);
+        if quick {
+            scenario = scenario.quick();
+        }
+        let baseline = scenario.run(Box::new(xen_credit()));
+        let base_cost = cost_of(&baseline, 0);
+        let mut col = Vec::new();
+        for q in QUANTA {
+            if q == BASE_QUANTUM {
+                col.push(Some(1.0));
+                continue;
+            }
+            let report = scenario.run(Box::new(FixedQuantumPolicy::new(q)));
+            col.push(normalized(cost_of(&report, 0), base_cost));
+        }
+        cols.push(col);
+    }
+    for (i, q) in QUANTA.iter().enumerate() {
+        table.row(vec![
+            fmt_dur(*q),
+            fmt_ratio(cols[0][i]),
+            fmt_ratio(cols[1][i]),
+        ]);
+    }
+    table
+}
+
+/// The lock-duration inset: average observed lock duration (µs) of the
+/// ConSpin benchmark versus quantum length, 4 vCPUs sharing the pCPU.
+pub fn run_lock_inset(quick: bool) -> Table {
+    let mut table = Table::new(
+        "Fig2(inset) lock duration vs quantum",
+        &["quantum", "mean hold (us)", "max hold (us)", "mean wait (us)"],
+    );
+    for q in [20 * MS, 40 * MS, 60 * MS, 80 * MS] {
+        let mut scenario = panel_scenario(Panel::ConSpin, 4);
+        if quick {
+            scenario = scenario.quick();
+        } else {
+            // Holder-preemption events are sparse at large quanta;
+            // a long window gives the hold statistics enough of them.
+            scenario.measure_ns = 24 * aql_sim::time::SEC;
+        }
+        let report = scenario.run(Box::new(FixedQuantumPolicy::new(q)));
+        let WorkloadMetrics::Spin {
+            lock_hold_mean_ns,
+            lock_hold_max_ns,
+            lock_wait_mean_ns,
+            ..
+        } = report.vms[0].metrics
+        else {
+            panic!("ConSpin panel must produce Spin metrics");
+        };
+        table.row(vec![
+            fmt_dur(q),
+            format!("{:.1}", lock_hold_mean_ns / 1e3),
+            format!("{:.1}", lock_hold_max_ns / 1e3),
+            format!("{:.1}", lock_wait_mean_ns / 1e3),
+        ]);
+    }
+    table
+}
+
+/// Runs the full figure: all six panels plus the inset.
+pub fn run_all(quick: bool) -> Vec<Table> {
+    let mut out: Vec<Table> = Panel::ALL
+        .into_iter()
+        .map(|p| run_panel(p, quick))
+        .collect();
+    out.push(run_lock_inset(quick));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_scenarios_have_k_vcpus() {
+        for panel in Panel::ALL {
+            for k in [2usize, 4] {
+                let s = panel_scenario(panel, k);
+                let total: usize = s
+                    .vms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, vm)| (vm.factory)(i as u64).0.vcpus)
+                    .sum();
+                assert_eq!(total, k, "panel {panel:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_letters_unique() {
+        let letters: Vec<&str> = Panel::ALL.iter().map(|p| p.letter()).collect();
+        let mut dedup = letters.clone();
+        dedup.dedup();
+        assert_eq!(letters.len(), dedup.len());
+    }
+
+    #[test]
+    fn quick_llcf_panel_prefers_long_quanta() {
+        // Shape check on the smallest panel run: normalised LLCF cost
+        // at 1 ms must exceed the cost at 90 ms.
+        let t = run_panel(Panel::Llcf, true);
+        let parse = |s: &str| s.parse::<f64>().unwrap();
+        let at_1ms = parse(&t.rows[0][2]);
+        let at_90ms = parse(&t.rows[4][2]);
+        assert!(
+            at_1ms > at_90ms,
+            "LLCF should prefer long quanta: 1ms={at_1ms}, 90ms={at_90ms}"
+        );
+    }
+}

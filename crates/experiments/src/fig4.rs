@@ -1,0 +1,113 @@
+//! Fig. 4 — the online vTRS in action.
+//!
+//! For five representative applications (one per type: SPECweb2009 →
+//! IOInt, fluidanimate → ConSpin, astar → LLCF, gobmk → LoLCF,
+//! libquantum → LLCO), 50 monitoring periods of per-type cursor values
+//! are recorded while the application runs consolidated. The type
+//! whose curve sits on top is the recognised one.
+
+use aql_core::{AqlSched, AqlSchedConfig};
+use aql_sim::time::{MS, SEC};
+use aql_workloads::find_app;
+
+use crate::emit::Table;
+use crate::fig5::catalog_scenario;
+
+/// The five representative applications of Fig. 4, paper order.
+pub const REPRESENTATIVES: [&str; 5] = [
+    "SPECweb2009",
+    "astar",
+    "libquantum",
+    "gobmk",
+    "fluidanimate",
+];
+
+/// Monitoring periods recorded per application.
+pub const PERIODS: usize = 50;
+
+/// Records the cursor traces of one application's vCPU 0.
+pub fn trace_app(app: &str, quick: bool) -> Table {
+    let entry = find_app(app).unwrap_or_else(|| panic!("unknown catalog app '{app}'"));
+    let mut scenario = catalog_scenario(app);
+    // Fig. 4 records from run start (including the recognition
+    // transient), so no warm-up reset is wanted here.
+    scenario.warmup_ns = 0;
+    scenario.measure_ns = if quick {
+        (PERIODS as u64 / 2) * 30 * MS + SEC / 10
+    } else {
+        (PERIODS as u64 + 2) * 30 * MS
+    };
+    let cfg = AqlSchedConfig {
+        record_history: PERIODS,
+        ..AqlSchedConfig::default()
+    };
+    let sim = scenario.run_sim(Box::new(AqlSched::new(cfg)));
+    let policy = sim
+        .policy()
+        .as_any()
+        .downcast_ref::<AqlSched>()
+        .expect("AqlSched policy");
+    let mut table = Table::new(
+        &format!("Fig4 vTRS trace {app} (expected {})", entry.class),
+        &["period", "IOInt", "ConSpin", "LLCF", "LoLCF", "LLCO"],
+    );
+    for (i, c) in policy.cursor_history(0).iter().enumerate() {
+        table.row(vec![
+            i.to_string(),
+            format!("{:.1}", c.ioint),
+            format!("{:.1}", c.conspin),
+            format!("{:.1}", c.llcf),
+            format!("{:.1}", c.lolcf),
+            format!("{:.1}", c.llco),
+        ]);
+    }
+    table
+}
+
+/// The dominant cursor across a recorded trace — the "curve higher
+/// than the others most of the time" of the paper's caption.
+pub fn dominant_type(table: &Table) -> Option<&'static str> {
+    let names = ["IOInt", "ConSpin", "LLCF", "LoLCF", "LLCO"];
+    let mut wins = [0usize; 5];
+    for row in &table.rows {
+        let vals: Vec<f64> = row[1..].iter().map(|v| v.parse().unwrap_or(0.0)).collect();
+        let mut best = 0;
+        for i in 1..5 {
+            if vals[i] > vals[best] {
+                best = i;
+            }
+        }
+        wins[best] += 1;
+    }
+    let best = (0..5).max_by_key(|&i| wins[i])?;
+    Some(names[best])
+}
+
+/// Runs the full figure: one trace per representative application.
+pub fn run(quick: bool) -> Vec<Table> {
+    REPRESENTATIVES
+        .iter()
+        .map(|app| trace_app(app, quick))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_periods() {
+        let t = trace_app("libquantum", true);
+        assert!(t.rows.len() >= 10, "expected periods, got {}", t.rows.len());
+        // The trasher's dominant curve is LLCO.
+        assert_eq!(dominant_type(&t), Some("LLCO"));
+    }
+
+    #[test]
+    fn dominant_type_counts_wins() {
+        let mut t = Table::new("x", &["period", "IOInt", "ConSpin", "LLCF", "LoLCF", "LLCO"]);
+        t.row(vec!["0".into(), "90".into(), "0".into(), "10".into(), "0".into(), "0".into()]);
+        t.row(vec!["1".into(), "80".into(), "0".into(), "20".into(), "0".into(), "0".into()]);
+        assert_eq!(dominant_type(&t), Some("IOInt"));
+    }
+}

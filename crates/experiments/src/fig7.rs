@@ -1,0 +1,73 @@
+//! Fig. 7 — the benefit of quantum-length customisation.
+//!
+//! The Fig. 3 experiment is replayed with the quantum-customisation
+//! step discarded: clustering still runs, but every pool is configured
+//! with a uniform small (1 ms), medium (30 ms) or large (90 ms)
+//! quantum. Values are normalised over the full AQL_Sched run (both
+//! steps active); a value above 1.0 means customisation helped.
+
+use aql_core::{AqlSched, AqlSchedConfig};
+use aql_sim::time::MS;
+
+use crate::emit::{fmt_ratio, Table};
+use crate::fig6::{classes_of, fig3_scenario, usable_sockets};
+use crate::runner::class_normalized;
+
+/// The three uniform quanta of the ablation.
+pub const UNIFORM: [(u64, &str); 3] = [(MS, "small"), (30 * MS, "medium"), (90 * MS, "large")];
+
+fn aql_variant(uniform_quantum: Option<u64>) -> AqlSched {
+    AqlSched::new(AqlSchedConfig {
+        usable_sockets: Some(usable_sockets()),
+        uniform_quantum,
+        ..AqlSchedConfig::default()
+    })
+}
+
+/// Runs the ablation: per type, cost under clustering-only (uniform
+/// quantum) normalised over cost under full AQL_Sched.
+pub fn run(quick: bool) -> Table {
+    let mut s = fig3_scenario();
+    if quick {
+        s = s.quick();
+    }
+    let full = s.run(Box::new(aql_variant(None)));
+    let mut table = Table::new(
+        "Fig7 quantum customisation benefit (cost vs full AQL; >1 = customisation helped)",
+        &["type", "small (1ms)", "medium (30ms)", "large (90ms)"],
+    );
+    let mut per_quantum = Vec::new();
+    for (q, _) in UNIFORM {
+        per_quantum.push(s.run(Box::new(aql_variant(Some(q)))));
+    }
+    for class in classes_of(&s) {
+        let mut row = vec![class.to_string()];
+        for report in &per_quantum {
+            row.push(fmt_ratio(class_normalized(&s, report, &full, class)));
+        }
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_set_matches_paper() {
+        assert_eq!(UNIFORM[0].0, MS);
+        assert_eq!(UNIFORM[1].0, 30 * MS);
+        assert_eq!(UNIFORM[2].0, 90 * MS);
+    }
+
+    #[test]
+    fn variants_differ_only_in_quantum_config() {
+        let a = aql_variant(None);
+        let b = aql_variant(Some(MS));
+        assert_eq!(
+            aql_hv::policy::SchedPolicy::name(&a),
+            aql_hv::policy::SchedPolicy::name(&b)
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 8 — comparison with existing systems.
+//!
+//! Scenario S5 runs under vTurbo, vSlicer, Microsliced and AQL_Sched;
+//! per-type costs are normalised over the default Xen scheduler. The
+//! comparators have no type recognition, so their IO-VM lists are
+//! manual configuration, as in the paper.
+
+use aql_baselines::{xen_credit, Microsliced, VSlicer, VTurbo};
+use aql_core::AqlSched;
+use aql_hv::apptype::VcpuType;
+use aql_hv::SchedPolicy;
+
+use crate::emit::{fmt_ratio, Table};
+use crate::fig6::scenario;
+use crate::runner::class_normalized;
+
+/// The S5 IO VM names handed to vTurbo and vSlicer.
+pub fn s5_io_vms() -> Vec<String> {
+    (0..4).map(|i| format!("SPECweb-{i}")).collect()
+}
+
+/// Runs the comparison; rows are policies, columns the three types the
+/// paper plots (IOInt, ConSpin, LLCF).
+pub fn run(quick: bool) -> Table {
+    let mut s = scenario(5);
+    if quick {
+        s = s.quick();
+    }
+    let xen = s.run(Box::new(xen_credit()));
+    let io_names = s5_io_vms();
+    let io_refs: Vec<&str> = io_names.iter().map(|s| s.as_str()).collect();
+    let policies: Vec<Box<dyn SchedPolicy>> = vec![
+        Box::new(VTurbo::new(&io_refs)),
+        Box::new(Microsliced::default()),
+        Box::new(VSlicer::new(&io_refs)),
+        Box::new(AqlSched::paper_defaults()),
+    ];
+    let mut table = Table::new(
+        "Fig8 comparison on S5 (normalised cost over Xen; lower is better)",
+        &["policy", "IOInt", "ConSpin", "LLCF"],
+    );
+    for policy in policies {
+        let name = policy.name().to_string();
+        let report = s.run(policy);
+        let mut row = vec![name];
+        for class in [VcpuType::IoInt, VcpuType::ConSpin, VcpuType::Llcf] {
+            row.push(fmt_ratio(class_normalized(&s, &report, &xen, class)));
+        }
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_vm_names_match_s5() {
+        let s = scenario(5);
+        let names: Vec<String> = s
+            .vms
+            .iter()
+            .enumerate()
+            .map(|(i, vm)| (vm.factory)(i as u64).0.name)
+            .collect();
+        for io in s5_io_vms() {
+            assert!(names.contains(&io), "missing {io}");
+        }
+    }
+}

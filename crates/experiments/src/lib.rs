@@ -1,0 +1,37 @@
+//! Experiment harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! Each module corresponds to one artifact of the paper; the
+//! `repro` binary exposes them as subcommands and writes CSV series
+//! under `results/` next to a human-readable table on stdout:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig2`] | Fig. 2 — quantum-length calibration, panels (a)–(f) plus the lock-duration inset |
+//! | [`fig4`] | Fig. 4 — vTRS cursor traces for five representative applications |
+//! | [`fig5`] | Fig. 5 — validation sweep over the full benchmark catalog |
+//! | [`fig6`] | Fig. 6 — AQL_Sched effectiveness: scenarios S1–S5 (left) and the 4-socket case (right) |
+//! | [`fig7`] | Fig. 7 — benefit of quantum-length customization |
+//! | [`fig8`] | Fig. 8 — comparison with vTurbo, vSlicer and Microsliced |
+//! | [`tables`] | Tables 3 (recognition), 5 (clustering per scenario) and 6 (feature matrix) |
+//!
+//! Beyond the paper, [`ablations`] isolates the design choices
+//! DESIGN.md calls out (lock fabric, PLE yield, vTRS window, BOOST,
+//! engine sub-step) and measures §4.3 scalability.
+//!
+//! The shared machinery lives in [`runner`] (scenario construction and
+//! normalised measurement) and [`emit`] (table/CSV output).
+
+pub mod ablations;
+pub mod emit;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod runner;
+pub mod tables;
+
+pub use emit::Table;
+pub use runner::{Scenario, ScenarioVm};

@@ -1,0 +1,219 @@
+//! Scenario construction and normalised measurement.
+//!
+//! A [`Scenario`] is a machine plus a list of VM factories; running it
+//! under a policy yields a [`RunReport`] measured after a warm-up
+//! phase. Factories (rather than built workloads) let the same
+//! scenario run under several policies with identical seeds, which is
+//! what every figure's "normalised over the default Xen scheduler"
+//! requires.
+
+use aql_hv::apptype::VcpuType;
+use aql_hv::workload::GuestWorkload;
+use aql_hv::{MachineSpec, RunReport, SchedPolicy, Simulation, SimulationBuilder, VmSpec};
+use aql_sim::time::{MS, SEC, US};
+
+/// Builds one VM's spec and workload from a seed.
+pub type VmFactory = Box<dyn Fn(u64) -> (VmSpec, Box<dyn GuestWorkload>)>;
+
+/// A VM slot in a scenario, with its ground-truth class for grouping.
+pub struct ScenarioVm {
+    /// Ground-truth application type (for result grouping).
+    pub class: VcpuType,
+    /// VM builder, seeded per run.
+    pub factory: VmFactory,
+}
+
+impl ScenarioVm {
+    /// Wraps a factory with its class.
+    pub fn new<F>(class: VcpuType, factory: F) -> Self
+    where
+        F: Fn(u64) -> (VmSpec, Box<dyn GuestWorkload>) + 'static,
+    {
+        ScenarioVm {
+            class,
+            factory: Box::new(factory),
+        }
+    }
+}
+
+/// A reproducible colocation experiment.
+pub struct Scenario {
+    /// Scenario name (used in output).
+    pub name: String,
+    /// Machine shape.
+    pub machine: MachineSpec,
+    /// VM population.
+    pub vms: Vec<ScenarioVm>,
+    /// Warm-up time before measurement (ns).
+    pub warmup_ns: u64,
+    /// Measured time (ns).
+    pub measure_ns: u64,
+    /// Base seed; VM `i` gets `seed + i`.
+    pub seed: u64,
+    /// Engine sub-step (ns).
+    pub substep_ns: u64,
+}
+
+impl Scenario {
+    /// A scenario with the defaults used across the evaluation:
+    /// 1 s warm-up, 6 s measurement, 100 µs sub-step.
+    pub fn new(name: &str, machine: MachineSpec, vms: Vec<ScenarioVm>) -> Self {
+        Scenario {
+            name: name.to_string(),
+            machine,
+            vms,
+            warmup_ns: SEC,
+            measure_ns: 6 * SEC,
+            seed: 42,
+            substep_ns: 100 * US,
+        }
+    }
+
+    /// Shortens the run (for benches and smoke tests).
+    pub fn quick(mut self) -> Self {
+        self.warmup_ns = 300 * MS;
+        self.measure_ns = SEC;
+        self
+    }
+
+    /// Builds the simulation (without running it).
+    pub fn build(&self, policy: Box<dyn SchedPolicy>) -> Simulation {
+        let mut b = SimulationBuilder::new(self.machine.clone())
+            .seed(self.seed)
+            .substep_ns(self.substep_ns)
+            .policy(policy);
+        for (i, vm) in self.vms.iter().enumerate() {
+            let (spec, wl) = (vm.factory)(self.seed + i as u64);
+            b = b.vm(spec, wl);
+        }
+        b.build()
+    }
+
+    /// Runs warm-up + measurement under `policy`; returns the
+    /// steady-state report.
+    pub fn run(&self, policy: Box<dyn SchedPolicy>) -> RunReport {
+        let mut sim = self.build(policy);
+        sim.run_for(self.warmup_ns);
+        sim.reset_measurements();
+        sim.run_for(self.measure_ns);
+        sim.report()
+    }
+
+    /// Like [`Scenario::run`] but returns the simulation for policy
+    /// introspection (cluster plans, vTRS traces).
+    pub fn run_sim(&self, policy: Box<dyn SchedPolicy>) -> Simulation {
+        let mut sim = self.build(policy);
+        sim.run_for(self.warmup_ns);
+        sim.reset_measurements();
+        sim.run_for(self.measure_ns);
+        sim
+    }
+
+    /// The ground-truth class of VM index `i`.
+    pub fn class_of(&self, vm_index: usize) -> VcpuType {
+        self.vms[vm_index].class
+    }
+}
+
+/// The time-like cost of one VM in a report (lower is better); `None`
+/// when the workload produced no metric.
+pub fn cost_of(report: &RunReport, vm_index: usize) -> Option<f64> {
+    report.vms.get(vm_index)?.metrics.time_cost()
+}
+
+/// `cost / baseline_cost` — the paper's normalisation: 1.0 matches the
+/// default Xen scheduler, lower is better.
+pub fn normalized(cost: Option<f64>, baseline: Option<f64>) -> Option<f64> {
+    match (cost, baseline) {
+        (Some(c), Some(b)) if b > 0.0 => Some(c / b),
+        _ => None,
+    }
+}
+
+/// Mean normalised cost of the scenario's VMs of one class.
+pub fn class_normalized(
+    scenario: &Scenario,
+    report: &RunReport,
+    baseline: &RunReport,
+    class: VcpuType,
+) -> Option<f64> {
+    let mut acc = 0.0;
+    let mut n = 0;
+    for i in 0..scenario.vms.len() {
+        if scenario.class_of(i) != class {
+            continue;
+        }
+        if let Some(v) = normalized(cost_of(report, i), cost_of(baseline, i)) {
+            acc += v;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| acc / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_baselines::xen_credit;
+    use aql_mem::CacheSpec;
+    use aql_workloads::MemWalk;
+
+    fn tiny_scenario() -> Scenario {
+        let spec = CacheSpec::i7_3770();
+        Scenario::new(
+            "tiny",
+            MachineSpec::custom("1core", 1, 1, spec),
+            vec![
+                ScenarioVm::new(VcpuType::Lolcf, move |_| {
+                    let spec = CacheSpec::i7_3770();
+                    (
+                        VmSpec::single("a"),
+                        Box::new(MemWalk::lolcf("a", &spec)) as Box<dyn GuestWorkload>,
+                    )
+                }),
+                ScenarioVm::new(VcpuType::Llco, move |_| {
+                    let spec = CacheSpec::i7_3770();
+                    (
+                        VmSpec::single("b"),
+                        Box::new(MemWalk::llco("b", &spec)) as Box<dyn GuestWorkload>,
+                    )
+                }),
+            ],
+        )
+        .quick()
+    }
+
+    #[test]
+    fn scenario_runs_and_reports() {
+        let s = tiny_scenario();
+        let r = s.run(Box::new(xen_credit()));
+        assert_eq!(r.vms.len(), 2);
+        assert!(cost_of(&r, 0).is_some());
+        assert!(cost_of(&r, 1).is_some());
+    }
+
+    #[test]
+    fn identical_policies_are_deterministic() {
+        let s = tiny_scenario();
+        let a = s.run(Box::new(xen_credit()));
+        let b = s.run(Box::new(xen_credit()));
+        assert_eq!(cost_of(&a, 0), cost_of(&b, 0));
+        assert_eq!(a.total_cpu_ns(), b.total_cpu_ns());
+    }
+
+    #[test]
+    fn normalization_behaviour() {
+        assert_eq!(normalized(Some(2.0), Some(4.0)), Some(0.5));
+        assert_eq!(normalized(None, Some(1.0)), None);
+        assert_eq!(normalized(Some(1.0), Some(0.0)), None);
+    }
+
+    #[test]
+    fn class_grouping() {
+        let s = tiny_scenario();
+        let r = s.run(Box::new(xen_credit()));
+        let norm = class_normalized(&s, &r, &r, VcpuType::Lolcf);
+        assert_eq!(norm, Some(1.0), "self-normalisation is 1.0");
+        assert_eq!(class_normalized(&s, &r, &r, VcpuType::IoInt), None);
+    }
+}

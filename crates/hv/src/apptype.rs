@@ -1,0 +1,85 @@
+//! The paper's application-type taxonomy (§3.2).
+//!
+//! Five types cover the workloads the paper identifies in cloud
+//! platforms. The type of a vCPU at an instant is the type of the
+//! thread using it; AQL_Sched's vTRS re-estimates it every monitoring
+//! period.
+
+use core::fmt;
+
+/// The five vCPU/application types of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VcpuType {
+    /// IO-intensive, latency-critical (`IOInt`).
+    IoInt,
+    /// Concurrent threads synchronising over spin-locks (`ConSpin`).
+    ConSpin,
+    /// Last-level-cache friendly: WSS fits the LLC (`LLCF`).
+    Llcf,
+    /// Low-level-cache friendly: WSS fits L1/L2 (`LoLCF`).
+    Lolcf,
+    /// Trashing: WSS overflows the LLC (`LLCO`).
+    Llco,
+}
+
+impl VcpuType {
+    /// All types, in the paper's presentation order.
+    pub const ALL: [VcpuType; 5] = [
+        VcpuType::IoInt,
+        VcpuType::ConSpin,
+        VcpuType::Llcf,
+        VcpuType::Lolcf,
+        VcpuType::Llco,
+    ];
+
+    /// The paper's notation for the type.
+    pub fn label(self) -> &'static str {
+        match self {
+            VcpuType::IoInt => "IOInt",
+            VcpuType::ConSpin => "ConSpin",
+            VcpuType::Llcf => "LLCF",
+            VcpuType::Lolcf => "LoLCF",
+            VcpuType::Llco => "LLCO",
+        }
+    }
+
+    /// Whether the type is quantum-length agnostic per the calibration
+    /// (§3.4.2): `LoLCF` and `LLCO` are; they serve as cluster fillers.
+    pub fn quantum_agnostic(self) -> bool {
+        matches!(self, VcpuType::Lolcf | VcpuType::Llco)
+    }
+}
+
+impl fmt::Display for VcpuType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(VcpuType::IoInt.to_string(), "IOInt");
+        assert_eq!(VcpuType::ConSpin.to_string(), "ConSpin");
+        assert_eq!(VcpuType::Llcf.to_string(), "LLCF");
+        assert_eq!(VcpuType::Lolcf.to_string(), "LoLCF");
+        assert_eq!(VcpuType::Llco.to_string(), "LLCO");
+    }
+
+    #[test]
+    fn agnostic_types_are_the_fillers() {
+        let agnostic: Vec<_> = VcpuType::ALL
+            .into_iter()
+            .filter(|t| t.quantum_agnostic())
+            .collect();
+        assert_eq!(agnostic, vec![VcpuType::Lolcf, VcpuType::Llco]);
+    }
+
+    #[test]
+    fn all_lists_five_types() {
+        assert_eq!(VcpuType::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Typed identifiers.
+//!
+//! All entity identifiers are dense indices wrapped in newtypes so a
+//! pCPU index cannot be passed where a vCPU index is expected. The raw
+//! index is public — the simulator uses it to address flat `Vec`s.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $short:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw dense index.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A virtual machine (Xen domain).
+    VmId,
+    "vm"
+);
+id_type!(
+    /// A virtual CPU, dense across all VMs.
+    VcpuId,
+    "vcpu"
+);
+id_type!(
+    /// A physical CPU (core).
+    PcpuId,
+    "pcpu"
+);
+id_type!(
+    /// A socket (package) with its own shared LLC.
+    SocketId,
+    "socket"
+);
+id_type!(
+    /// A CPU pool: a pCPU set sharing one quantum length.
+    PoolId,
+    "pool"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_readably() {
+        assert_eq!(format!("{}", VcpuId(3)), "vcpu3");
+        assert_eq!(format!("{:?}", PcpuId(0)), "pcpu0");
+        assert_eq!(format!("{}", PoolId(2)), "pool2");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(VcpuId(1) < VcpuId(2));
+        assert_eq!(VmId(5).index(), 5);
+    }
+}

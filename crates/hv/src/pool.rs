@@ -1,0 +1,168 @@
+//! CPU pools.
+//!
+//! A pool is a set of pCPUs whose schedulers share one quantum length.
+//! Pools are the mechanism behind the paper's clustering (§3.5): each
+//! vCPU cluster is pinned to a pool configured with the cluster's best
+//! quantum. The default configuration is a single pool covering the
+//! whole machine with Xen's 30 ms quantum.
+//!
+//! As in the paper's prototype (§4.3), all pools share the scheduler's
+//! data structures, so moving a vCPU between pools costs nothing in
+//! the simulated hypervisor.
+
+use crate::ids::{PcpuId, PoolId};
+use crate::DEFAULT_QUANTUM_NS;
+
+/// Requested pool layout: pCPU set plus quantum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// pCPUs in the pool (must be disjoint across specs and cover the
+    /// machine when applied).
+    pub pcpus: Vec<PcpuId>,
+    /// Quantum length (ns) every pCPU scheduler in the pool uses.
+    pub quantum_ns: u64,
+}
+
+impl PoolSpec {
+    /// A pool over the given pCPUs with the given quantum.
+    pub fn new(pcpus: Vec<PcpuId>, quantum_ns: u64) -> Self {
+        PoolSpec { pcpus, quantum_ns }
+    }
+}
+
+/// A live CPU pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuPool {
+    /// Pool identifier (dense).
+    pub id: PoolId,
+    /// Member pCPUs, in index order.
+    pub pcpus: Vec<PcpuId>,
+    /// Current quantum length (ns).
+    pub quantum_ns: u64,
+}
+
+impl CpuPool {
+    /// Creates a pool; member list is kept sorted for determinism.
+    pub fn new(id: PoolId, mut pcpus: Vec<PcpuId>, quantum_ns: u64) -> Self {
+        assert!(!pcpus.is_empty(), "a pool must own at least one pCPU");
+        assert!(quantum_ns > 0, "quantum must be positive");
+        pcpus.sort();
+        pcpus.dedup();
+        CpuPool {
+            id,
+            pcpus,
+            quantum_ns,
+        }
+    }
+
+    /// The machine-wide default: all pCPUs, 30 ms quantum.
+    pub fn default_pool(total_pcpus: usize) -> Self {
+        CpuPool::new(
+            PoolId(0),
+            (0..total_pcpus).map(PcpuId).collect(),
+            DEFAULT_QUANTUM_NS,
+        )
+    }
+
+    /// Whether the pool contains `pcpu`.
+    pub fn contains(&self, pcpu: PcpuId) -> bool {
+        self.pcpus.binary_search(&pcpu).is_ok()
+    }
+}
+
+/// Validates that `specs` partition `total_pcpus` pCPUs: every pCPU in
+/// exactly one pool, no pool empty. Returns the pool list on success.
+pub fn build_pools(specs: &[PoolSpec], total_pcpus: usize) -> Result<Vec<CpuPool>, String> {
+    if specs.is_empty() {
+        return Err("no pool specs given".to_string());
+    }
+    let mut seen = vec![false; total_pcpus];
+    let mut pools = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        if spec.pcpus.is_empty() {
+            return Err(format!("pool {i} is empty"));
+        }
+        if spec.quantum_ns == 0 {
+            return Err(format!("pool {i} has zero quantum"));
+        }
+        for &p in &spec.pcpus {
+            if p.index() >= total_pcpus {
+                return Err(format!("pool {i} references unknown {p}"));
+            }
+            if seen[p.index()] {
+                return Err(format!("{p} assigned to more than one pool"));
+            }
+            seen[p.index()] = true;
+        }
+        pools.push(CpuPool::new(PoolId(i), spec.pcpus.clone(), spec.quantum_ns));
+    }
+    if let Some(idx) = seen.iter().position(|s| !s) {
+        return Err(format!("pcpu{idx} not covered by any pool"));
+    }
+    Ok(pools)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_sim::time::MS;
+
+    #[test]
+    fn default_pool_covers_machine() {
+        let p = CpuPool::default_pool(8);
+        assert_eq!(p.pcpus.len(), 8);
+        assert_eq!(p.quantum_ns, DEFAULT_QUANTUM_NS);
+        assert!(p.contains(PcpuId(0)));
+        assert!(p.contains(PcpuId(7)));
+        assert!(!p.contains(PcpuId(8)));
+    }
+
+    #[test]
+    fn build_pools_accepts_partition() {
+        let specs = vec![
+            PoolSpec::new(vec![PcpuId(0), PcpuId(1)], MS),
+            PoolSpec::new(vec![PcpuId(2), PcpuId(3)], 90 * MS),
+        ];
+        let pools = build_pools(&specs, 4).unwrap();
+        assert_eq!(pools.len(), 2);
+        assert_eq!(pools[0].quantum_ns, MS);
+        assert_eq!(pools[1].quantum_ns, 90 * MS);
+    }
+
+    #[test]
+    fn build_pools_rejects_overlap() {
+        let specs = vec![
+            PoolSpec::new(vec![PcpuId(0), PcpuId(1)], MS),
+            PoolSpec::new(vec![PcpuId(1), PcpuId(2)], MS),
+        ];
+        let err = build_pools(&specs, 3).unwrap_err();
+        assert!(err.contains("more than one pool"), "{err}");
+    }
+
+    #[test]
+    fn build_pools_rejects_hole() {
+        let specs = vec![PoolSpec::new(vec![PcpuId(0)], MS)];
+        let err = build_pools(&specs, 2).unwrap_err();
+        assert!(err.contains("not covered"), "{err}");
+    }
+
+    #[test]
+    fn build_pools_rejects_unknown_pcpu() {
+        let specs = vec![PoolSpec::new(vec![PcpuId(5)], MS)];
+        let err = build_pools(&specs, 2).unwrap_err();
+        assert!(err.contains("unknown"), "{err}");
+    }
+
+    #[test]
+    fn build_pools_rejects_zero_quantum() {
+        let specs = vec![PoolSpec::new(vec![PcpuId(0)], 0)];
+        let err = build_pools(&specs, 1).unwrap_err();
+        assert!(err.contains("zero quantum"), "{err}");
+    }
+
+    #[test]
+    fn pool_members_sorted_and_deduped() {
+        let p = CpuPool::new(PoolId(0), vec![PcpuId(3), PcpuId(1), PcpuId(3)], MS);
+        assert_eq!(p.pcpus, vec![PcpuId(1), PcpuId(3)]);
+    }
+}

@@ -1,0 +1,377 @@
+//! Credit-scheduler mechanics: run queues and credit accounting.
+//!
+//! This module contains the pure parts of the Xen Credit scheduler the
+//! engine drives (§2.1 of the paper):
+//!
+//! * [`RunQueue`] — a per-pCPU queue with three priority classes
+//!   (`BOOST` > `UNDER` > `OVER`), FIFO within a class.
+//! * [`burn_credits`] — debits a vCPU's credits for consumed CPU time
+//!   (100 credits per 10 ms tick of full-speed execution).
+//! * [`refill_credits`] — the 30 ms accounting pass distributing
+//!   credits per pool in proportion to VM weights, honouring caps.
+
+use std::collections::VecDeque;
+
+use crate::ids::VcpuId;
+use crate::pool::CpuPool;
+use crate::vm::{Prio, Vcpu, VmMeta};
+use crate::TICK_NS;
+
+/// Credits granted per pCPU per accounting period (Xen: 300).
+pub const CREDITS_PER_ACCT_PER_PCPU: f64 = 300.0;
+/// Upper clamp on a vCPU's credit balance.
+pub const CREDIT_MAX: f64 = 300.0;
+/// Lower clamp on a vCPU's credit balance.
+pub const CREDIT_MIN: f64 = -300.0;
+/// Credits burned by one full tick of execution (Xen: 100).
+pub const CREDITS_PER_TICK: f64 = 100.0;
+
+/// A per-pCPU run queue with priority classes.
+///
+/// # Examples
+///
+/// ```
+/// use aql_hv::sched::RunQueue;
+/// use aql_hv::vm::Prio;
+/// use aql_hv::VcpuId;
+///
+/// let mut q = RunQueue::new();
+/// q.push_tail(Prio::Under, VcpuId(1));
+/// q.push_tail(Prio::Over, VcpuId(2));
+/// q.push_tail(Prio::Boost, VcpuId(3));
+/// assert_eq!(q.pop_best(), Some((VcpuId(3), Prio::Boost)));
+/// assert_eq!(q.pop_best(), Some((VcpuId(1), Prio::Under)));
+/// assert_eq!(q.pop_best(), Some((VcpuId(2), Prio::Over)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunQueue {
+    boost: VecDeque<VcpuId>,
+    under: VecDeque<VcpuId>,
+    over: VecDeque<VcpuId>,
+}
+
+impl RunQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        RunQueue::default()
+    }
+
+    fn class(&mut self, prio: Prio) -> &mut VecDeque<VcpuId> {
+        match prio {
+            Prio::Boost => &mut self.boost,
+            Prio::Under => &mut self.under,
+            Prio::Over => &mut self.over,
+        }
+    }
+
+    /// Appends at the tail of the priority class (normal requeue).
+    pub fn push_tail(&mut self, prio: Prio, id: VcpuId) {
+        self.class(prio).push_back(id);
+    }
+
+    /// Inserts at the head of the priority class (preempted vCPUs
+    /// resume before their peers).
+    pub fn push_head(&mut self, prio: Prio, id: VcpuId) {
+        self.class(prio).push_front(id);
+    }
+
+    /// Removes and returns the best queued vCPU.
+    pub fn pop_best(&mut self) -> Option<(VcpuId, Prio)> {
+        if let Some(v) = self.boost.pop_front() {
+            return Some((v, Prio::Boost));
+        }
+        if let Some(v) = self.under.pop_front() {
+            return Some((v, Prio::Under));
+        }
+        self.over.pop_front().map(|v| (v, Prio::Over))
+    }
+
+    /// The class of the best queued vCPU, if any.
+    pub fn best_class(&self) -> Option<Prio> {
+        if !self.boost.is_empty() {
+            Some(Prio::Boost)
+        } else if !self.under.is_empty() {
+            Some(Prio::Under)
+        } else if !self.over.is_empty() {
+            Some(Prio::Over)
+        } else {
+            None
+        }
+    }
+
+    /// Steals a vCPU from the tail, preferring lower classes so the
+    /// victim pCPU keeps its most urgent work (Xen steals `UNDER`
+    /// before `OVER`; `BOOST` is never stolen).
+    pub fn steal_tail(&mut self) -> Option<(VcpuId, Prio)> {
+        if let Some(v) = self.under.pop_back() {
+            return Some((v, Prio::Under));
+        }
+        self.over.pop_back().map(|v| (v, Prio::Over))
+    }
+
+    /// Removes a specific vCPU wherever it is queued; returns whether
+    /// it was present.
+    pub fn remove(&mut self, id: VcpuId) -> bool {
+        for q in [&mut self.boost, &mut self.under, &mut self.over] {
+            if let Some(pos) = q.iter().position(|&v| v == id) {
+                q.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total queued vCPUs.
+    pub fn len(&self) -> usize {
+        self.boost.len() + self.under.len() + self.over.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queued vCPUs, best class first, FIFO within class.
+    pub fn iter(&self) -> impl Iterator<Item = VcpuId> + '_ {
+        self.boost
+            .iter()
+            .chain(self.under.iter())
+            .chain(self.over.iter())
+            .copied()
+    }
+}
+
+/// Debits `vcpu`'s credits for its unbilled CPU time and re-derives its
+/// priority class (`OVER` when the balance goes negative). Boost is not
+/// granted here — only wake-ups grant boost.
+pub fn burn_credits(vcpu: &mut Vcpu) {
+    if vcpu.unbilled_ns == 0 {
+        return;
+    }
+    let burned = vcpu.unbilled_ns as f64 / TICK_NS as f64 * CREDITS_PER_TICK;
+    vcpu.unbilled_ns = 0;
+    vcpu.credit = (vcpu.credit - burned).max(CREDIT_MIN);
+    if vcpu.credit < 0.0 {
+        vcpu.prio = Prio::Over;
+    } else if vcpu.prio == Prio::Over {
+        vcpu.prio = Prio::Under;
+    }
+}
+
+/// The 30 ms accounting pass: distributes
+/// [`CREDITS_PER_ACCT_PER_PCPU`] × pool size among the pool's vCPUs in
+/// proportion to VM weights, splits each VM's grant equally across its
+/// vCPUs in the pool, honours `cap`, clamps balances, and re-derives
+/// priorities. As in Xen's `csched_acct`, the pass resets every vCPU
+/// to `UNDER`/`OVER`, clearing stale `BOOST` states of queued vCPUs.
+pub fn refill_credits(vcpus: &mut [Vcpu], vms: &[VmMeta], pools: &[CpuPool]) {
+    for pool in pools {
+        // Weight mass per VM present in this pool (deterministic VM order).
+        let mut vm_members: Vec<(usize, Vec<usize>)> = Vec::new();
+        for vm in vms {
+            let members: Vec<usize> = vm
+                .vcpus
+                .iter()
+                .map(|v| v.index())
+                .filter(|&vi| vcpus[vi].pool == pool.id)
+                .collect();
+            if !members.is_empty() {
+                vm_members.push((vm.id.index(), members));
+            }
+        }
+        let total_weight: f64 = vm_members
+            .iter()
+            .map(|(vmi, _)| vms[*vmi].spec.weight as f64)
+            .sum();
+        if total_weight <= 0.0 {
+            continue;
+        }
+        let pot = CREDITS_PER_ACCT_PER_PCPU * pool.pcpus.len() as f64;
+        for (vmi, members) in &vm_members {
+            let vm = &vms[*vmi];
+            let mut vm_gain = pot * vm.spec.weight as f64 / total_weight;
+            if let Some(cap) = vm.spec.cap_pct {
+                vm_gain = vm_gain.min(CREDITS_PER_ACCT_PER_PCPU * cap as f64 / 100.0);
+            }
+            let per_vcpu = vm_gain / members.len() as f64;
+            for &vi in members {
+                let v = &mut vcpus[vi];
+                v.credit = (v.credit + per_vcpu).min(CREDIT_MAX);
+                v.prio = if v.credit < 0.0 { Prio::Over } else { Prio::Under };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PcpuId, PoolId, VmId};
+    use crate::vm::VmSpec;
+
+    fn mk_vcpu(i: usize, vm: usize) -> Vcpu {
+        Vcpu::new(VcpuId(i), VmId(vm), 0, PoolId(0), PcpuId(0))
+    }
+
+    fn mk_vm(id: usize, weight: u32, vcpus: &[usize]) -> VmMeta {
+        VmMeta {
+            id: VmId(id),
+            spec: VmSpec {
+                name: format!("vm{id}"),
+                weight,
+                cap_pct: None,
+                vcpus: vcpus.len(),
+            },
+            vcpus: vcpus.iter().map(|&v| VcpuId(v)).collect(),
+        }
+    }
+
+    #[test]
+    fn queue_priority_order() {
+        let mut q = RunQueue::new();
+        q.push_tail(Prio::Over, VcpuId(0));
+        q.push_tail(Prio::Under, VcpuId(1));
+        q.push_tail(Prio::Under, VcpuId(2));
+        assert_eq!(q.best_class(), Some(Prio::Under));
+        assert_eq!(q.pop_best().unwrap().0, VcpuId(1));
+        assert_eq!(q.pop_best().unwrap().0, VcpuId(2));
+        assert_eq!(q.pop_best().unwrap().0, VcpuId(0));
+        assert_eq!(q.pop_best(), None);
+    }
+
+    #[test]
+    fn queue_head_insert_resumes_first() {
+        let mut q = RunQueue::new();
+        q.push_tail(Prio::Under, VcpuId(0));
+        q.push_head(Prio::Under, VcpuId(1));
+        assert_eq!(q.pop_best().unwrap().0, VcpuId(1));
+    }
+
+    #[test]
+    fn steal_prefers_under_tail() {
+        let mut q = RunQueue::new();
+        q.push_tail(Prio::Boost, VcpuId(0));
+        q.push_tail(Prio::Under, VcpuId(1));
+        q.push_tail(Prio::Under, VcpuId(2));
+        q.push_tail(Prio::Over, VcpuId(3));
+        assert_eq!(q.steal_tail(), Some((VcpuId(2), Prio::Under)));
+        assert_eq!(q.steal_tail(), Some((VcpuId(1), Prio::Under)));
+        // Boost is never stolen; Over is the fallback.
+        assert_eq!(q.steal_tail(), Some((VcpuId(3), Prio::Over)));
+        assert_eq!(q.steal_tail(), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn remove_finds_any_class() {
+        let mut q = RunQueue::new();
+        q.push_tail(Prio::Boost, VcpuId(0));
+        q.push_tail(Prio::Over, VcpuId(1));
+        assert!(q.remove(VcpuId(1)));
+        assert!(!q.remove(VcpuId(1)));
+        assert!(q.remove(VcpuId(0)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn iter_orders_best_first() {
+        let mut q = RunQueue::new();
+        q.push_tail(Prio::Over, VcpuId(5));
+        q.push_tail(Prio::Boost, VcpuId(6));
+        q.push_tail(Prio::Under, VcpuId(7));
+        let order: Vec<usize> = q.iter().map(|v| v.index()).collect();
+        assert_eq!(order, vec![6, 7, 5]);
+    }
+
+    #[test]
+    fn burn_debits_proportionally() {
+        let mut v = mk_vcpu(0, 0);
+        v.credit = 100.0;
+        v.unbilled_ns = TICK_NS; // one full tick
+        burn_credits(&mut v);
+        assert_eq!(v.credit, 0.0);
+        assert_eq!(v.prio, Prio::Under);
+        v.unbilled_ns = TICK_NS / 2;
+        burn_credits(&mut v);
+        assert_eq!(v.credit, -50.0);
+        assert_eq!(v.prio, Prio::Over);
+    }
+
+    #[test]
+    fn burn_clamps_at_minimum() {
+        let mut v = mk_vcpu(0, 0);
+        v.credit = CREDIT_MIN + 10.0;
+        v.unbilled_ns = 10 * TICK_NS;
+        burn_credits(&mut v);
+        assert_eq!(v.credit, CREDIT_MIN);
+    }
+
+    #[test]
+    fn refill_splits_by_weight() {
+        let mut vcpus = vec![mk_vcpu(0, 0), mk_vcpu(1, 1)];
+        let vms = vec![mk_vm(0, 256, &[0]), mk_vm(1, 512, &[1])];
+        let pools = vec![CpuPool::new(PoolId(0), vec![PcpuId(0)], TICK_NS)];
+        refill_credits(&mut vcpus, &vms, &pools);
+        // 300 credits split 1:2.
+        assert!((vcpus[0].credit - 100.0).abs() < 1e-9);
+        assert!((vcpus[1].credit - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refill_respects_cap() {
+        let mut vcpus = vec![mk_vcpu(0, 0)];
+        let mut vm = mk_vm(0, 256, &[0]);
+        vm.spec.cap_pct = Some(10); // 10% of one pCPU = 30 credits
+        let pools = vec![CpuPool::new(PoolId(0), vec![PcpuId(0)], TICK_NS)];
+        refill_credits(&mut vcpus, &[vm], &pools);
+        assert!((vcpus[0].credit - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refill_clamps_at_maximum() {
+        let mut vcpus = vec![mk_vcpu(0, 0)];
+        vcpus[0].credit = 290.0;
+        let vms = vec![mk_vm(0, 256, &[0])];
+        let pools = vec![CpuPool::new(PoolId(0), vec![PcpuId(0)], TICK_NS)];
+        refill_credits(&mut vcpus, &vms, &pools);
+        assert_eq!(vcpus[0].credit, CREDIT_MAX);
+    }
+
+    #[test]
+    fn refill_recovers_over_vcpus() {
+        let mut vcpus = vec![mk_vcpu(0, 0)];
+        vcpus[0].credit = -100.0;
+        vcpus[0].prio = Prio::Over;
+        let vms = vec![mk_vm(0, 256, &[0])];
+        let pools = vec![CpuPool::new(PoolId(0), vec![PcpuId(0)], TICK_NS)];
+        refill_credits(&mut vcpus, &vms, &pools);
+        assert!(vcpus[0].credit > 0.0);
+        assert_eq!(vcpus[0].prio, Prio::Under);
+    }
+
+    #[test]
+    fn refill_is_per_pool() {
+        // vcpu0 in pool0, vcpu1 in pool1; each pool has one pCPU, so
+        // each vCPU gets the whole per-pool pot regardless of weights.
+        let mut vcpus = vec![mk_vcpu(0, 0), mk_vcpu(1, 1)];
+        vcpus[1].pool = PoolId(1);
+        let vms = vec![mk_vm(0, 256, &[0]), mk_vm(1, 64, &[1])];
+        let pools = vec![
+            CpuPool::new(PoolId(0), vec![PcpuId(0)], TICK_NS),
+            CpuPool::new(PoolId(1), vec![PcpuId(1)], TICK_NS),
+        ];
+        refill_credits(&mut vcpus, &vms, &pools);
+        assert!((vcpus[0].credit - 300.0).abs() < 1e-9);
+        assert!((vcpus[1].credit - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refill_splits_within_vm() {
+        let mut vcpus = vec![mk_vcpu(0, 0), mk_vcpu(1, 0)];
+        let vms = vec![mk_vm(0, 256, &[0, 1])];
+        let pools = vec![CpuPool::new(PoolId(0), vec![PcpuId(0)], TICK_NS)];
+        refill_credits(&mut vcpus, &vms, &pools);
+        assert!((vcpus[0].credit - 150.0).abs() < 1e-9);
+        assert!((vcpus[1].credit - 150.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,163 @@
+//! Guest-visible ticket spin-lock.
+//!
+//! The paper's `ConSpin` class (§3.2) synchronises threads with spin
+//! locks, and its pathology under virtualization is *lock-holder /
+//! lock-waiter preemption*: the thread owning (or next in line for)
+//! the lock sits on a descheduled vCPU, so every other thread burns its
+//! quantum spinning. [`TicketLock`] models the lock fabric; the spin
+//! workload in `aql-workloads` drives it and reports hold/wait times.
+
+use aql_sim::time::SimTime;
+
+/// A FIFO ticket lock.
+///
+/// `take_ticket` hands out increasing tickets; the lock serves tickets
+/// in order. After a release the next ticket is *immediately* the
+/// owner — if the thread holding that ticket sits on a descheduled
+/// vCPU, the lock stalls until that vCPU runs again, which is exactly
+/// the waiter-preemption cost that grows with the quantum length.
+///
+/// The lock records when the currently-served ticket became the owner
+/// ([`TicketLock::serving_since`]), so the *ownership duration* — the
+/// paper's "lock duration", including time the owner's vCPU was
+/// descheduled — can be measured at release.
+///
+/// # Examples
+///
+/// ```
+/// use aql_hv::spinlock::TicketLock;
+/// use aql_sim::time::SimTime;
+///
+/// let mut lock = TicketLock::new();
+/// let a = lock.take_ticket(SimTime::from_us(1));
+/// let b = lock.take_ticket(SimTime::from_us(2));
+/// assert!(lock.is_turn(a));
+/// assert!(!lock.is_turn(b));
+/// lock.release(SimTime::from_us(9));
+/// assert!(lock.is_turn(b));
+/// // b became the owner at the release instant.
+/// assert_eq!(lock.serving_since(), SimTime::from_us(9));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TicketLock {
+    next_ticket: u64,
+    now_serving: u64,
+    serving_since: SimTime,
+}
+
+impl TicketLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        TicketLock::default()
+    }
+
+    /// Draws the next ticket at time `now`. If the lock was free the
+    /// ticket is immediately the owner and ownership starts now.
+    pub fn take_ticket(&mut self, now: SimTime) -> u64 {
+        let t = self.next_ticket;
+        self.next_ticket += 1;
+        if self.now_serving == t {
+            self.serving_since = now;
+        }
+        t
+    }
+
+    /// Whether `ticket` is currently being served (its holder may enter
+    /// the critical section).
+    pub fn is_turn(&self, ticket: u64) -> bool {
+        self.now_serving == ticket
+    }
+
+    /// When the currently-served ticket became the owner.
+    pub fn serving_since(&self) -> SimTime {
+        self.serving_since
+    }
+
+    /// Releases the critical section at time `now`, handing ownership
+    /// to the next ticket (whose ownership starts immediately, even if
+    /// its thread's vCPU is descheduled — the waiter-preemption case).
+    pub fn release(&mut self, now: SimTime) {
+        debug_assert!(
+            self.now_serving < self.next_ticket,
+            "release without an outstanding ticket"
+        );
+        self.now_serving += 1;
+        self.serving_since = now;
+    }
+
+    /// Number of tickets waiting behind the one being served
+    /// (outstanding tickets minus the current owner).
+    pub fn waiters(&self) -> u64 {
+        (self.next_ticket - self.now_serving).saturating_sub(1)
+    }
+
+    /// Whether any ticket is outstanding.
+    pub fn is_held(&self) -> bool {
+        self.next_ticket > self.now_serving
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn fifo_service_order() {
+        let mut l = TicketLock::new();
+        let t0 = l.take_ticket(t(0));
+        let t1 = l.take_ticket(t(1));
+        let t2 = l.take_ticket(t(2));
+        assert!(l.is_turn(t0) && !l.is_turn(t1));
+        l.release(t(5));
+        assert!(l.is_turn(t1) && !l.is_turn(t2));
+        l.release(t(9));
+        assert!(l.is_turn(t2));
+    }
+
+    #[test]
+    fn waiters_counts_queue_depth() {
+        let mut l = TicketLock::new();
+        assert_eq!(l.waiters(), 0);
+        assert!(!l.is_held());
+        let _ = l.take_ticket(t(0));
+        assert_eq!(l.waiters(), 0);
+        assert!(l.is_held());
+        let _ = l.take_ticket(t(1));
+        let _ = l.take_ticket(t(2));
+        assert_eq!(l.waiters(), 2);
+        l.release(t(3));
+        assert_eq!(l.waiters(), 1);
+    }
+
+    #[test]
+    fn release_then_empty() {
+        let mut l = TicketLock::new();
+        let _ = l.take_ticket(t(0));
+        l.release(t(1));
+        assert!(!l.is_held());
+        assert_eq!(l.waiters(), 0);
+    }
+
+    #[test]
+    fn ownership_starts_at_take_when_free() {
+        let mut l = TicketLock::new();
+        let _ = l.take_ticket(t(7));
+        assert_eq!(l.serving_since(), t(7));
+    }
+
+    #[test]
+    fn ownership_transfers_at_release() {
+        let mut l = TicketLock::new();
+        let _a = l.take_ticket(t(1));
+        let b = l.take_ticket(t(2));
+        l.release(t(10));
+        // b owns the lock from the release instant, even if its vCPU
+        // is descheduled (lock-waiter preemption).
+        assert!(l.is_turn(b));
+        assert_eq!(l.serving_since(), t(10));
+    }
+}

@@ -1,0 +1,123 @@
+//! Machine topology.
+
+use aql_mem::CacheSpec;
+
+use crate::ids::{PcpuId, SocketId};
+
+/// The shape of the simulated machine: sockets, cores per socket and
+/// the cache hierarchy.
+///
+/// pCPUs are numbered socket-major: pCPU `i` lives on socket
+/// `i / cores_per_socket`.
+///
+/// # Examples
+///
+/// ```
+/// use aql_hv::MachineSpec;
+///
+/// let m = MachineSpec::xeon_e5_4603();
+/// assert_eq!(m.sockets, 4);
+/// assert_eq!(m.total_pcpus(), 16);
+/// assert_eq!(m.socket_of(aql_hv::PcpuId(5)).index(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Number of sockets (each with a private shared LLC).
+    pub sockets: usize,
+    /// Cores per socket; each core is one pCPU.
+    pub cores_per_socket: usize,
+    /// Cache hierarchy geometry and timing.
+    pub cache: CacheSpec,
+}
+
+impl MachineSpec {
+    /// The paper's calibration host (Table 2): one socket, 8 cores,
+    /// 8 MB LLC (Intel Core i7-3770).
+    pub fn i7_3770() -> Self {
+        MachineSpec {
+            name: "i7-3770".to_string(),
+            sockets: 1,
+            cores_per_socket: 8,
+            cache: CacheSpec::i7_3770(),
+        }
+    }
+
+    /// The paper's multi-socket host (§4.2): four sockets of 4 cores
+    /// (Intel Xeon E5-4603). One socket is conventionally reserved for
+    /// dom0 by the experiment harness, mirroring Fig. 3.
+    pub fn xeon_e5_4603() -> Self {
+        MachineSpec {
+            name: "Xeon-E5-4603".to_string(),
+            sockets: 4,
+            cores_per_socket: 4,
+            cache: CacheSpec::xeon_e5_4603(),
+        }
+    }
+
+    /// An arbitrary custom shape.
+    pub fn custom(name: &str, sockets: usize, cores_per_socket: usize, cache: CacheSpec) -> Self {
+        assert!(sockets > 0 && cores_per_socket > 0, "degenerate machine");
+        MachineSpec {
+            name: name.to_string(),
+            sockets,
+            cores_per_socket,
+            cache,
+        }
+    }
+
+    /// Total number of pCPUs.
+    pub fn total_pcpus(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// The socket a pCPU belongs to.
+    pub fn socket_of(&self, pcpu: PcpuId) -> SocketId {
+        debug_assert!(pcpu.index() < self.total_pcpus());
+        SocketId(pcpu.index() / self.cores_per_socket)
+    }
+
+    /// The pCPUs of one socket, in index order.
+    pub fn pcpus_of_socket(&self, socket: SocketId) -> Vec<PcpuId> {
+        let base = socket.index() * self.cores_per_socket;
+        (base..base + self.cores_per_socket).map(PcpuId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i7_is_single_socket_8_cores() {
+        let m = MachineSpec::i7_3770();
+        assert_eq!(m.total_pcpus(), 8);
+        assert_eq!(m.socket_of(PcpuId(7)).index(), 0);
+    }
+
+    #[test]
+    fn xeon_socket_mapping() {
+        let m = MachineSpec::xeon_e5_4603();
+        assert_eq!(m.socket_of(PcpuId(0)).index(), 0);
+        assert_eq!(m.socket_of(PcpuId(3)).index(), 0);
+        assert_eq!(m.socket_of(PcpuId(4)).index(), 1);
+        assert_eq!(m.socket_of(PcpuId(15)).index(), 3);
+    }
+
+    #[test]
+    fn pcpus_of_socket_partition_the_machine() {
+        let m = MachineSpec::xeon_e5_4603();
+        let mut all: Vec<usize> = Vec::new();
+        for s in 0..m.sockets {
+            all.extend(m.pcpus_of_socket(SocketId(s)).iter().map(|p| p.index()));
+        }
+        assert_eq!(all, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate machine")]
+    fn zero_socket_machine_rejected() {
+        let _ = MachineSpec::custom("bad", 0, 4, CacheSpec::i7_3770());
+    }
+}

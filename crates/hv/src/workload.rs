@@ -1,0 +1,271 @@
+//! The guest-workload interface.
+//!
+//! A VM's application behaviour is a [`GuestWorkload`]: one object per
+//! VM driving all of the VM's vCPU *slots*. The engine hands the
+//! workload CPU time ([`GuestWorkload::run`]) and timer deliveries
+//! ([`GuestWorkload::on_timer`]); the workload reports why it stopped
+//! ([`StopReason`]) and, at the end of a run, its application-level
+//! metrics ([`WorkloadMetrics`]).
+//!
+//! During `run` the workload executes through an [`ExecContext`], which
+//! meters instruction progress against the cache model and accumulates
+//! PMU counters — the same counters the paper's vTRS samples.
+
+use aql_mem::{exec_step, CacheSpec, ExecOutcome, LlcState, MemProfile, PmuCounters};
+use aql_sim::rng::SimRng;
+use aql_sim::time::SimTime;
+
+/// Why a workload stopped before using its whole budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The time budget was fully consumed; the vCPU stays runnable.
+    BudgetExhausted,
+    /// The vCPU has no work until an external event (IO arrival); it
+    /// blocks and releases the pCPU.
+    Blocked,
+    /// The vCPU voluntarily yields the pCPU but remains runnable
+    /// (e.g. Pause-Loop-Exiting directed yield while spinning).
+    Yielded,
+}
+
+/// The result of one [`GuestWorkload::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Nanoseconds of CPU actually consumed (at most the budget).
+    pub used_ns: u64,
+    /// Why the call returned.
+    pub stop: StopReason,
+}
+
+impl RunOutcome {
+    /// Convenience constructor for a full-budget run.
+    pub fn ran_all(budget_ns: u64) -> Self {
+        RunOutcome {
+            used_ns: budget_ns,
+            stop: StopReason::BudgetExhausted,
+        }
+    }
+}
+
+/// The result of delivering a timer to a workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerFire {
+    /// IO events materialised by this delivery (counted by the
+    /// hypervisor's event-channel monitor, §3.3.2).
+    pub io_events: u64,
+    /// Whether the slot should wake if it was blocked.
+    pub wake: bool,
+}
+
+/// Metered execution environment handed to [`GuestWorkload::run`].
+///
+/// Borrowing rules: the context holds exclusive access to the socket's
+/// LLC state and the vCPU's PMU counters for the duration of the call.
+pub struct ExecContext<'a> {
+    /// Current simulated time at the start of the run slice.
+    pub now: SimTime,
+    /// Cache geometry of the machine.
+    pub spec: &'a CacheSpec,
+    /// Shared LLC of the socket the vCPU is running on.
+    pub llc: &'a mut LlcState,
+    /// The vCPU's PMU counters.
+    pub pmu: &'a mut PmuCounters,
+    /// The vCPU's private-L2 warmth (fraction resident), updated in
+    /// place by [`ExecContext::exec_mem`].
+    pub l2_warmth: &'a mut f64,
+    /// Deterministic randomness.
+    pub rng: &'a mut SimRng,
+    /// LLC owner index (global vCPU index).
+    pub owner: usize,
+    /// Which of this VM's slots are currently on a pCPU; lets
+    /// spin-lock models observe holder preemption.
+    pub running_slots: &'a [bool],
+}
+
+impl ExecContext<'_> {
+    /// Executes `dt_ns` of CPU under `profile`, updating the LLC, the
+    /// L2 warmth and the PMU. Returns the retirement outcome.
+    pub fn exec_mem(&mut self, profile: &MemProfile, dt_ns: u64) -> ExecOutcome {
+        let out = exec_step(profile, self.spec, self.llc, self.owner, self.l2_warmth, dt_ns);
+        self.pmu.add_exec(&out);
+        out
+    }
+
+    /// Records `n` Pause-Loop-Exiting traps (spin detection, §3.3.2).
+    pub fn ple_exits(&mut self, n: u64) {
+        self.pmu.add_ple_exits(n);
+    }
+}
+
+/// Latency distribution summary for IO-like workloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Completed requests.
+    pub count: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// 95th-percentile latency in nanoseconds.
+    pub p95_ns: f64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: f64,
+    /// Maximum observed latency in nanoseconds.
+    pub max_ns: f64,
+}
+
+/// End-of-run application metrics, per workload kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadMetrics {
+    /// Request/response workload: the paper scores these by latency.
+    Io {
+        /// Latency summary over completed requests.
+        latency: LatencySummary,
+        /// Requests completed.
+        completed: u64,
+        /// Requests that arrived (offered load).
+        offered: u64,
+    },
+    /// Spin-lock synchronised parallel job: scored by throughput.
+    Spin {
+        /// Work items completed across all threads.
+        work_items: u64,
+        /// Mean observed lock-ownership duration, ns.
+        lock_hold_mean_ns: f64,
+        /// Longest observed lock-ownership duration, ns.
+        lock_hold_max_ns: f64,
+        /// Mean lock acquisition wait, ns.
+        lock_wait_mean_ns: f64,
+        /// Total CPU burnt spinning, ns.
+        spin_ns: u64,
+    },
+    /// CPU/memory workload: scored by retired instructions.
+    Mem {
+        /// Instructions retired over the run.
+        instructions: f64,
+    },
+    /// A workload with no meaningful application metric.
+    None,
+}
+
+impl WorkloadMetrics {
+    /// A scalar "time-like cost" (lower is better) used to normalise
+    /// performance across runs, as the paper normalises every figure:
+    /// mean latency for IO, inverse throughput for spin jobs, inverse
+    /// instruction rate for memory workloads.
+    pub fn time_cost(&self) -> Option<f64> {
+        match self {
+            WorkloadMetrics::Io { latency, .. } => {
+                (latency.count > 0).then_some(latency.mean_ns)
+            }
+            WorkloadMetrics::Spin { work_items, .. } => {
+                (*work_items > 0).then_some(1.0 / *work_items as f64)
+            }
+            WorkloadMetrics::Mem { instructions } => {
+                (*instructions > 0.0).then_some(1.0 / *instructions)
+            }
+            WorkloadMetrics::None => None,
+        }
+    }
+}
+
+/// A VM's application behaviour.
+///
+/// One object drives all the VM's vCPU slots; slot indices are local
+/// to the VM (`0..vcpu_slots()`).
+pub trait GuestWorkload {
+    /// Short human-readable name (e.g. `"SPECweb2009"`).
+    fn name(&self) -> &str;
+
+    /// Number of vCPU slots this workload drives; must equal the VM's
+    /// vCPU count.
+    fn vcpu_slots(&self) -> usize;
+
+    /// Gives `slot` at most `budget_ns` of CPU starting at `ctx.now`.
+    ///
+    /// Must return `used_ns <= budget_ns`. Returning
+    /// [`StopReason::Blocked`] parks the vCPU until a timer fires for
+    /// the slot; [`StopReason::Yielded`] requeues it immediately.
+    fn run(&mut self, slot: usize, budget_ns: u64, ctx: &mut ExecContext<'_>) -> RunOutcome;
+
+    /// Whether the slot has runnable work right now (used at admission
+    /// and after pool reconfigurations).
+    fn runnable(&self, slot: usize) -> bool;
+
+    /// The next instant at which the slot needs a timer delivery
+    /// (request arrival, sleep expiry), if any.
+    fn next_timer(&self, slot: usize) -> Option<SimTime>;
+
+    /// Delivers a due timer to the slot.
+    fn on_timer(&mut self, slot: usize, now: SimTime) -> TimerFire;
+
+    /// Application metrics accumulated so far.
+    fn metrics(&self) -> WorkloadMetrics;
+
+    /// Clears accumulated metrics without disturbing execution state.
+    ///
+    /// Experiment harnesses call this after a warm-up phase so reported
+    /// metrics reflect steady state (standard measurement practice; the
+    /// paper's runs similarly exclude benchmark ramp-up).
+    fn reset_metrics(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_outcome_full_budget() {
+        let o = RunOutcome::ran_all(500);
+        assert_eq!(o.used_ns, 500);
+        assert_eq!(o.stop, StopReason::BudgetExhausted);
+    }
+
+    #[test]
+    fn io_time_cost_is_latency() {
+        let m = WorkloadMetrics::Io {
+            latency: LatencySummary {
+                count: 10,
+                mean_ns: 5000.0,
+                ..Default::default()
+            },
+            completed: 10,
+            offered: 12,
+        };
+        assert_eq!(m.time_cost(), Some(5000.0));
+    }
+
+    #[test]
+    fn spin_time_cost_is_inverse_throughput() {
+        let m = WorkloadMetrics::Spin {
+            work_items: 200,
+            lock_hold_mean_ns: 0.0,
+            lock_hold_max_ns: 0.0,
+            lock_wait_mean_ns: 0.0,
+            spin_ns: 0,
+        };
+        assert_eq!(m.time_cost(), Some(1.0 / 200.0));
+    }
+
+    #[test]
+    fn empty_metrics_have_no_cost() {
+        assert_eq!(WorkloadMetrics::None.time_cost(), None);
+        let io = WorkloadMetrics::Io {
+            latency: LatencySummary::default(),
+            completed: 0,
+            offered: 0,
+        };
+        assert_eq!(io.time_cost(), None);
+        let mem = WorkloadMetrics::Mem { instructions: 0.0 };
+        assert_eq!(mem.time_cost(), None);
+    }
+
+    #[test]
+    fn mem_cost_decreases_with_more_instructions() {
+        let a = WorkloadMetrics::Mem {
+            instructions: 1e6,
+        };
+        let b = WorkloadMetrics::Mem {
+            instructions: 2e6,
+        };
+        assert!(a.time_cost().unwrap() > b.time_cost().unwrap());
+    }
+}

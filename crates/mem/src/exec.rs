@@ -1,0 +1,292 @@
+//! The execution-speed law.
+//!
+//! Given a [`MemProfile`], the live LLC state and the vCPU's private-L2
+//! warmth, [`exec_step`] advances a workload by a time budget and
+//! reports retired instructions and LLC traffic. Speed follows a
+//! straightforward additive latency model:
+//!
+//! ```text
+//! ns/instr = base
+//!          + deep_refs * [ h2 * t_l2
+//!                        + (1 - h2) * ( h3 * t_llc + (1 - h3) * t_mem ) ]
+//! ```
+//!
+//! where `h2` is the private-L2 hit probability (capacity law times
+//! warmth) and `h3` the LLC hit probability (resident footprint over
+//! working set, uniform re-reference). Misses fetch lines, growing the
+//! footprint — so a cold LLCF phase starts slow and accelerates as it
+//! refills, which is exactly the cost short quanta keep re-paying.
+
+use crate::llc::LlcState;
+use crate::profile::MemProfile;
+use crate::spec::CacheSpec;
+
+/// What happened during one execution step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecOutcome {
+    /// Instructions retired (fractional).
+    pub instructions: f64,
+    /// References that reached the LLC (PMU "LLC references").
+    pub llc_refs: f64,
+    /// References that missed the LLC (PMU "LLC misses").
+    pub llc_misses: f64,
+}
+
+impl ExecOutcome {
+    /// Accumulates another outcome into this one.
+    pub fn merge(&mut self, other: &ExecOutcome) {
+        self.instructions += other.instructions;
+        self.llc_refs += other.llc_refs;
+        self.llc_misses += other.llc_misses;
+    }
+}
+
+/// Maximum fraction of the working set fetched per internal sub-step;
+/// bounds the discretization error of the frozen-rate integration.
+const MAX_FILL_FRACTION: f64 = 0.125;
+
+/// Advances a workload phase by `dt_ns` nanoseconds of CPU time.
+///
+/// `owner` indexes the vCPU's footprint in `llc`; `l2_warmth` is the
+/// fraction of the (capacity-limited) working set resident in the
+/// private L2 and is updated in place. Returns the retired instruction
+/// count and LLC traffic for PMU accounting.
+pub fn exec_step(
+    profile: &MemProfile,
+    spec: &CacheSpec,
+    llc: &mut LlcState,
+    owner: usize,
+    l2_warmth: &mut f64,
+    dt_ns: u64,
+) -> ExecOutcome {
+    let mut out = ExecOutcome::default();
+    if dt_ns == 0 {
+        return out;
+    }
+    let wss = profile.wss_bytes as f64;
+    let mut remaining = dt_ns as f64;
+    // Internal sub-steps keep rate-freezing honest while footprints move.
+    let mut guard = 0;
+    while remaining > 0.0 {
+        guard += 1;
+        debug_assert!(guard < 10_000, "exec_step failed to converge");
+        let h2_cap = profile.l2_hit_warm(spec);
+        let h2 = h2_cap * l2_warmth.clamp(0.0, 1.0);
+        let deep = profile.deep_refs_per_instr;
+        let resident = llc.occupancy(owner);
+        let h3 = if wss <= 0.0 {
+            1.0
+        } else {
+            (resident / wss).clamp(0.0, 1.0)
+        };
+        let llc_ref_per_instr = deep * (1.0 - h2);
+        let llc_miss_per_instr = llc_ref_per_instr * (1.0 - h3);
+        let ns_per_instr = profile.base_ns_per_instr
+            + deep
+                * (h2 * spec.l2_hit_ns
+                    + (1.0 - h2) * (h3 * spec.llc_hit_ns + (1.0 - h3) * spec.mem_ns));
+
+        // Cap the chunk so neither footprint moves more than
+        // MAX_FILL_FRACTION of its target within frozen rates.
+        let mut chunk = remaining;
+        if llc_miss_per_instr > 1e-12 && wss > 0.0 {
+            let instr_cap = (wss * MAX_FILL_FRACTION / spec.line_bytes as f64)
+                / llc_miss_per_instr;
+            chunk = chunk.min(instr_cap * ns_per_instr);
+        }
+        let l2_fill_per_instr = deep * (1.0 - h2);
+        let l2_target = (wss.min(spec.l2_bytes as f64)).max(1.0);
+        if l2_fill_per_instr > 1e-12 && *l2_warmth < 1.0 {
+            let instr_cap =
+                (l2_target * MAX_FILL_FRACTION / spec.line_bytes as f64) / l2_fill_per_instr;
+            chunk = chunk.min(instr_cap * ns_per_instr);
+        }
+        chunk = chunk.max(remaining.min(1.0)).min(remaining);
+
+        let instr = chunk / ns_per_instr;
+        let refs = instr * llc_ref_per_instr;
+        let misses = instr * llc_miss_per_instr;
+        out.instructions += instr;
+        out.llc_refs += refs;
+        out.llc_misses += misses;
+
+        if refs > 0.0 && wss > 0.0 {
+            // Re-referencing protects the resident footprint (LRU
+            // recency): the protection is proportional to how much of
+            // the set was re-touched, so streaming owners (one pass
+            // over a huge set) stay stale.
+            llc.touch_frac(owner, refs * spec.line_bytes as f64 / wss);
+        }
+        if misses > 0.0 {
+            llc.insert(owner, misses * spec.line_bytes as f64, wss);
+        }
+        if l2_fill_per_instr > 1e-12 {
+            let fill = instr * l2_fill_per_instr * spec.line_bytes as f64;
+            *l2_warmth = (*l2_warmth + fill / l2_target).min(1.0);
+        }
+        remaining -= chunk;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_sim::time::MS;
+
+    fn spec() -> CacheSpec {
+        CacheSpec::i7_3770()
+    }
+
+    #[test]
+    fn light_profile_runs_near_base_speed() {
+        let spec = spec();
+        let mut llc = LlcState::new(spec.llc_bytes as f64, 1);
+        let mut w2 = 1.0;
+        let p = MemProfile::light();
+        let out = exec_step(&p, &spec, &mut llc, 0, &mut w2, MS);
+        let ips = out.instructions / MS as f64;
+        let base_ips = 1.0 / p.base_ns_per_instr;
+        assert!(
+            (ips - base_ips).abs() / base_ips < 0.05,
+            "light profile should run near base speed: {ips} vs {base_ips}"
+        );
+    }
+
+    #[test]
+    fn warm_llcf_faster_than_cold() {
+        let spec = spec();
+        let p = MemProfile::llcf(&spec);
+        // Cold run.
+        let mut llc_cold = LlcState::new(spec.llc_bytes as f64, 1);
+        let mut w2 = 0.0;
+        let cold = exec_step(&p, &spec, &mut llc_cold, 0, &mut w2, MS);
+        // Warm run: footprint pre-loaded.
+        let mut llc_warm = LlcState::new(spec.llc_bytes as f64, 1);
+        llc_warm.insert(0, p.wss_bytes as f64, p.wss_bytes as f64);
+        let mut w2 = 1.0;
+        let warm = exec_step(&p, &spec, &mut llc_warm, 0, &mut w2, MS);
+        assert!(
+            warm.instructions > 2.0 * cold.instructions,
+            "warm {} should far exceed cold {}",
+            warm.instructions,
+            cold.instructions
+        );
+    }
+
+    #[test]
+    fn cold_run_warms_the_cache() {
+        let spec = spec();
+        let p = MemProfile::llcf(&spec);
+        let mut llc = LlcState::new(spec.llc_bytes as f64, 1);
+        let mut w2 = 0.0;
+        let mut last_instr = 0.0;
+        // Successive 2ms steps must speed up as the footprint grows.
+        for step in 0..5 {
+            let out = exec_step(&p, &spec, &mut llc, 0, &mut w2, 2 * MS);
+            assert!(
+                out.instructions >= last_instr,
+                "step {step} slowed down: {} < {last_instr}",
+                out.instructions
+            );
+            last_instr = out.instructions;
+        }
+        assert!(llc.occupancy(0) > 0.9 * p.wss_bytes as f64);
+    }
+
+    #[test]
+    fn llco_always_misses() {
+        let spec = spec();
+        let p = MemProfile::llco(&spec);
+        let mut llc = LlcState::new(spec.llc_bytes as f64, 1);
+        let mut w2 = 0.0;
+        // Run long enough to reach steady state.
+        let _ = exec_step(&p, &spec, &mut llc, 0, &mut w2, 50 * MS);
+        let out = exec_step(&p, &spec, &mut llc, 0, &mut w2, 10 * MS);
+        let miss_ratio = out.llc_misses / out.llc_refs;
+        assert!(
+            miss_ratio > 0.6,
+            "trasher steady-state miss ratio should stay high, got {miss_ratio}"
+        );
+    }
+
+    #[test]
+    fn lolcf_generates_negligible_llc_traffic_when_warm() {
+        let spec = spec();
+        let p = MemProfile::lolcf(&spec);
+        let mut llc = LlcState::new(spec.llc_bytes as f64, 1);
+        let mut w2 = 1.0;
+        let out = exec_step(&p, &spec, &mut llc, 0, &mut w2, 10 * MS);
+        let rr_per_kilo = out.llc_refs / out.instructions * 1000.0;
+        assert!(
+            rr_per_kilo < 1.0,
+            "warm LoLCF should barely reference the LLC, got {rr_per_kilo}/k-instr"
+        );
+    }
+
+    #[test]
+    fn lolcf_l2_refill_is_cheap_and_bounded() {
+        let spec = spec();
+        let p = MemProfile::lolcf(&spec);
+        let mut llc = LlcState::new(spec.llc_bytes as f64, 1);
+        let mut w2 = 0.0;
+        let cold = exec_step(&p, &spec, &mut llc, 0, &mut w2, MS);
+        assert!(w2 > 0.99, "1ms should fully rewarm a 230KB L2 set, got {w2}");
+        let warm = exec_step(&p, &spec, &mut llc, 0, &mut w2, MS);
+        let ratio = warm.instructions / cold.instructions;
+        assert!(
+            ratio > 1.0 && ratio < 1.6,
+            "L2 refill should cost a little, not a lot: warm/cold = {ratio}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_is_a_noop() {
+        let spec = spec();
+        let p = MemProfile::llcf(&spec);
+        let mut llc = LlcState::new(spec.llc_bytes as f64, 1);
+        let mut w2 = 0.5;
+        let out = exec_step(&p, &spec, &mut llc, 0, &mut w2, 0);
+        assert_eq!(out, ExecOutcome::default());
+        assert_eq!(w2, 0.5);
+    }
+
+    #[test]
+    fn outcome_merge_adds_fields() {
+        let mut a = ExecOutcome {
+            instructions: 1.0,
+            llc_refs: 2.0,
+            llc_misses: 3.0,
+        };
+        a.merge(&ExecOutcome {
+            instructions: 10.0,
+            llc_refs: 20.0,
+            llc_misses: 30.0,
+        });
+        assert_eq!(a.instructions, 11.0);
+        assert_eq!(a.llc_refs, 22.0);
+        assert_eq!(a.llc_misses, 33.0);
+    }
+
+    #[test]
+    fn shared_llc_contention_slows_the_victim() {
+        let spec = spec();
+        let victim = MemProfile::llcf(&spec);
+        let trasher = MemProfile::llco(&spec);
+        let mut llc = LlcState::new(spec.llc_bytes as f64, 2);
+        let mut w2v = 1.0;
+        let mut w2t = 0.0;
+        // Warm the victim fully.
+        let _ = exec_step(&victim, &spec, &mut llc, 0, &mut w2v, 30 * MS);
+        let alone = exec_step(&victim, &spec, &mut llc, 0, &mut w2v, 5 * MS);
+        // Let the trasher stream for a while (victim descheduled).
+        let _ = exec_step(&trasher, &spec, &mut llc, 1, &mut w2t, 90 * MS);
+        let after = exec_step(&victim, &spec, &mut llc, 0, &mut w2v, 5 * MS);
+        assert!(
+            after.instructions < 0.8 * alone.instructions,
+            "trasher must erode the victim footprint: {} vs {}",
+            after.instructions,
+            alone.instructions
+        );
+    }
+}

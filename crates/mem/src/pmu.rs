@@ -1,0 +1,186 @@
+//! Performance-monitoring-unit counters.
+//!
+//! The paper's vTRS (§3.3.2) reads four per-vCPU signals each 30 ms
+//! monitoring period: IO-event count (event-channel analysis), spin
+//! count (Pause-Loop-Exiting traps), LLC references and LLC misses
+//! (hardware counters via perfctr-xen). [`PmuCounters`] accumulates all
+//! of them plus retired instructions and actual run time;
+//! [`PmuCounters::snapshot_and_reset`] produces the per-period
+//! [`PmuSample`] the recognition system consumes.
+
+use crate::exec::ExecOutcome;
+
+/// Accumulating per-vCPU counters for the current monitoring period.
+#[derive(Debug, Clone, Default)]
+pub struct PmuCounters {
+    instructions: f64,
+    llc_refs: f64,
+    llc_misses: f64,
+    io_events: u64,
+    ple_exits: u64,
+    ran_ns: u64,
+}
+
+impl PmuCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds an execution step's retirement and LLC traffic in.
+    pub fn add_exec(&mut self, out: &ExecOutcome) {
+        self.instructions += out.instructions;
+        self.llc_refs += out.llc_refs;
+        self.llc_misses += out.llc_misses;
+    }
+
+    /// Counts IO events delivered to the vCPU (event-channel analysis).
+    pub fn add_io_events(&mut self, n: u64) {
+        self.io_events += n;
+    }
+
+    /// Counts Pause-Loop-Exiting traps (spinning detection).
+    pub fn add_ple_exits(&mut self, n: u64) {
+        self.ple_exits += n;
+    }
+
+    /// Accounts CPU time actually consumed on a pCPU.
+    pub fn add_ran_ns(&mut self, ns: u64) {
+        self.ran_ns += ns;
+    }
+
+    /// Returns the period's sample and clears the counters.
+    pub fn snapshot_and_reset(&mut self, period_ns: u64) -> PmuSample {
+        let s = PmuSample {
+            instructions: self.instructions,
+            llc_refs: self.llc_refs,
+            llc_misses: self.llc_misses,
+            io_events: self.io_events,
+            ple_exits: self.ple_exits,
+            ran_ns: self.ran_ns,
+            period_ns,
+        };
+        *self = PmuCounters::default();
+        s
+    }
+}
+
+/// One monitoring period's worth of per-vCPU metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PmuSample {
+    /// Instructions retired during the period.
+    pub instructions: f64,
+    /// LLC references during the period.
+    pub llc_refs: f64,
+    /// LLC misses during the period.
+    pub llc_misses: f64,
+    /// IO events delivered to the vCPU during the period.
+    pub io_events: u64,
+    /// Pause-Loop-Exiting traps raised during the period.
+    pub ple_exits: u64,
+    /// CPU time the vCPU actually ran (ns).
+    pub ran_ns: u64,
+    /// Length of the monitoring period (ns).
+    pub period_ns: u64,
+}
+
+impl PmuSample {
+    /// LLC references per thousand retired instructions — the paper's
+    /// `LLC_RR_level` signal. Zero when no instruction retired.
+    pub fn llc_rr_per_kilo_instr(&self) -> f64 {
+        if self.instructions <= 0.0 {
+            0.0
+        } else {
+            self.llc_refs / self.instructions * 1000.0
+        }
+    }
+
+    /// LLC miss ratio in percent — the paper's `LLC_MR_level` signal.
+    /// Zero when the period produced no LLC references.
+    pub fn llc_miss_ratio_pct(&self) -> f64 {
+        if self.llc_refs <= 0.0 {
+            0.0
+        } else {
+            (self.llc_misses / self.llc_refs * 100.0).clamp(0.0, 100.0)
+        }
+    }
+
+    /// Fraction of the period the vCPU spent on a pCPU, in `[0, 1]`.
+    pub fn run_fraction(&self) -> f64 {
+        if self.period_ns == 0 {
+            0.0
+        } else {
+            (self.ran_ns as f64 / self.period_ns as f64).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_reset() {
+        let mut c = PmuCounters::new();
+        c.add_exec(&ExecOutcome {
+            instructions: 1000.0,
+            llc_refs: 50.0,
+            llc_misses: 10.0,
+        });
+        c.add_io_events(3);
+        c.add_ple_exits(7);
+        c.add_ran_ns(123);
+        let s = c.snapshot_and_reset(1000);
+        assert_eq!(s.instructions, 1000.0);
+        assert_eq!(s.io_events, 3);
+        assert_eq!(s.ple_exits, 7);
+        assert_eq!(s.ran_ns, 123);
+        assert_eq!(s.period_ns, 1000);
+        // Counters cleared.
+        let s2 = c.snapshot_and_reset(1000);
+        assert_eq!(s2.instructions, 0.0);
+        assert_eq!(s2.io_events, 0);
+    }
+
+    #[test]
+    fn rr_metric() {
+        let s = PmuSample {
+            instructions: 10_000.0,
+            llc_refs: 500.0,
+            ..Default::default()
+        };
+        assert_eq!(s.llc_rr_per_kilo_instr(), 50.0);
+        let empty = PmuSample::default();
+        assert_eq!(empty.llc_rr_per_kilo_instr(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_metric() {
+        let s = PmuSample {
+            llc_refs: 200.0,
+            llc_misses: 50.0,
+            ..Default::default()
+        };
+        assert_eq!(s.llc_miss_ratio_pct(), 25.0);
+        let empty = PmuSample::default();
+        assert_eq!(empty.llc_miss_ratio_pct(), 0.0);
+    }
+
+    #[test]
+    fn run_fraction_clamped() {
+        let s = PmuSample {
+            ran_ns: 500,
+            period_ns: 1000,
+            ..Default::default()
+        };
+        assert_eq!(s.run_fraction(), 0.5);
+        let odd = PmuSample {
+            ran_ns: 2000,
+            period_ns: 1000,
+            ..Default::default()
+        };
+        assert_eq!(odd.run_fraction(), 1.0);
+        let zero = PmuSample::default();
+        assert_eq!(zero.run_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-phase memory behaviour.
+
+use crate::spec::CacheSpec;
+
+/// The memory behaviour of one workload phase.
+///
+/// A phase is characterised by its working-set size (WSS), how often an
+/// instruction references memory beyond the private L1 ("deep"
+/// references), and the base cost of an instruction when every access
+/// hits close to the core. These three numbers plus the live LLC/L2
+/// state fully determine execution speed (see [`crate::exec`]).
+///
+/// The paper's §3.2 taxonomy maps onto WSS directly: `LoLCF` fits in
+/// L2, `LLCF` fits in the LLC, `LLCO` overflows it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemProfile {
+    /// Working-set size in bytes (uniform re-reference over this set).
+    pub wss_bytes: u64,
+    /// References per instruction that miss the private L1.
+    pub deep_refs_per_instr: f64,
+    /// Nanoseconds per instruction when all accesses hit L1/L2.
+    pub base_ns_per_instr: f64,
+}
+
+impl MemProfile {
+    /// A compute-only phase: negligible working set, no deep traffic.
+    /// Used for IO service bursts and spin-lock guest code.
+    pub fn light() -> Self {
+        MemProfile {
+            wss_bytes: 16 * 1024,
+            deep_refs_per_instr: 0.001,
+            base_ns_per_instr: 0.40,
+        }
+    }
+
+    /// An LLC-friendly phase (paper: WSS = half the LLC).
+    pub fn llcf(spec: &CacheSpec) -> Self {
+        MemProfile {
+            wss_bytes: spec.llc_bytes / 2,
+            deep_refs_per_instr: 0.08,
+            base_ns_per_instr: 0.40,
+        }
+    }
+
+    /// A low-level-cache-friendly phase (paper: WSS = 90% of L2).
+    pub fn lolcf(spec: &CacheSpec) -> Self {
+        MemProfile {
+            wss_bytes: spec.l2_bytes * 9 / 10,
+            deep_refs_per_instr: 0.08,
+            base_ns_per_instr: 0.40,
+        }
+    }
+
+    /// A trashing phase (paper: WSS larger than the LLC).
+    pub fn llco(spec: &CacheSpec) -> Self {
+        MemProfile {
+            wss_bytes: spec.llc_bytes * 4,
+            deep_refs_per_instr: 0.08,
+            base_ns_per_instr: 0.40,
+        }
+    }
+
+    /// Probability that a deep reference hits a fully-warm L2.
+    ///
+    /// Uniform re-reference over the WSS gives a capacity law: a cache
+    /// of `c` bytes holds at most `c / wss` of the set.
+    pub fn l2_hit_warm(&self, spec: &CacheSpec) -> f64 {
+        if self.wss_bytes == 0 {
+            return 1.0;
+        }
+        (spec.l2_bytes as f64 / self.wss_bytes as f64).min(1.0)
+    }
+
+    /// Whether the working set fits in the private L2 (LoLCF-like).
+    pub fn fits_l2(&self, spec: &CacheSpec) -> bool {
+        self.wss_bytes <= spec.l2_bytes
+    }
+
+    /// Whether the working set fits in the LLC (LLCF-like).
+    pub fn fits_llc(&self, spec: &CacheSpec) -> bool {
+        self.wss_bytes <= spec.llc_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_map_to_cache_levels() {
+        let spec = CacheSpec::i7_3770();
+        assert!(MemProfile::lolcf(&spec).fits_l2(&spec));
+        let llcf = MemProfile::llcf(&spec);
+        assert!(!llcf.fits_l2(&spec));
+        assert!(llcf.fits_llc(&spec));
+        let llco = MemProfile::llco(&spec);
+        assert!(!llco.fits_llc(&spec));
+    }
+
+    #[test]
+    fn l2_hit_law() {
+        let spec = CacheSpec::i7_3770();
+        assert_eq!(MemProfile::lolcf(&spec).l2_hit_warm(&spec), 1.0);
+        let llcf = MemProfile::llcf(&spec);
+        let h = llcf.l2_hit_warm(&spec);
+        assert!(h > 0.0 && h < 0.1, "LLCF should mostly miss L2, got {h}");
+    }
+
+    #[test]
+    fn light_profile_is_cheap() {
+        let spec = CacheSpec::i7_3770();
+        let p = MemProfile::light();
+        assert!(p.fits_l2(&spec));
+        assert!(p.deep_refs_per_instr < 0.01);
+    }
+
+    #[test]
+    fn zero_wss_hits_everything() {
+        let spec = CacheSpec::i7_3770();
+        let p = MemProfile {
+            wss_bytes: 0,
+            deep_refs_per_instr: 0.0,
+            base_ns_per_instr: 0.5,
+        };
+        assert_eq!(p.l2_hit_warm(&spec), 1.0);
+    }
+}

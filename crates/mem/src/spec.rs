@@ -1,0 +1,107 @@
+//! Cache geometry and timing.
+
+/// Sizes and latencies of the simulated cache hierarchy.
+///
+/// Latencies are *effective serialized penalties* per access at that
+/// level, folding in memory-level parallelism; they are deliberately
+/// coarse (the reproduction targets figure shapes, not cycle accuracy).
+///
+/// # Examples
+///
+/// ```
+/// use aql_mem::CacheSpec;
+///
+/// let spec = CacheSpec::i7_3770();
+/// assert_eq!(spec.llc_bytes, 8 * 1024 * 1024);
+/// assert_eq!(spec.lines(spec.llc_bytes), 131072);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSpec {
+    /// L1 data cache capacity in bytes (per core).
+    pub l1d_bytes: u64,
+    /// L2 unified cache capacity in bytes (per core).
+    pub l2_bytes: u64,
+    /// Last-level cache capacity in bytes (shared per socket).
+    pub llc_bytes: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Effective L2 hit penalty (ns) for a reference missing L1.
+    pub l2_hit_ns: f64,
+    /// Effective LLC hit penalty (ns) for a reference missing L2.
+    pub llc_hit_ns: f64,
+    /// Effective memory penalty (ns) for a reference missing the LLC.
+    pub mem_ns: f64,
+}
+
+impl CacheSpec {
+    /// The paper's calibration host (Table 2): Intel Core i7-3770 —
+    /// 32 KB L1-D, 256 KB L2, 8 MB LLC.
+    pub fn i7_3770() -> Self {
+        CacheSpec {
+            l1d_bytes: 32 * 1024,
+            l2_bytes: 256 * 1024,
+            llc_bytes: 8 * 1024 * 1024,
+            line_bytes: 64,
+            l2_hit_ns: 3.0,
+            llc_hit_ns: 14.0,
+            mem_ns: 90.0,
+        }
+    }
+
+    /// The paper's 4-socket host (§4.2): Intel Xeon E5-4603 —
+    /// 32 KB L1-D, 256 KB L2, 10 MB LLC per socket.
+    pub fn xeon_e5_4603() -> Self {
+        CacheSpec {
+            llc_bytes: 10 * 1024 * 1024,
+            ..CacheSpec::i7_3770()
+        }
+    }
+
+    /// Number of whole cache lines in `bytes`.
+    pub fn lines(&self, bytes: u64) -> u64 {
+        bytes / self.line_bytes
+    }
+}
+
+impl Default for CacheSpec {
+    fn default() -> Self {
+        CacheSpec::i7_3770()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i7_matches_table2() {
+        let s = CacheSpec::i7_3770();
+        assert_eq!(s.l1d_bytes, 32 * 1024);
+        assert_eq!(s.l2_bytes, 256 * 1024);
+        assert_eq!(s.llc_bytes, 8 * 1024 * 1024);
+        assert_eq!(s.line_bytes, 64);
+    }
+
+    #[test]
+    fn xeon_has_bigger_llc() {
+        let a = CacheSpec::i7_3770();
+        let b = CacheSpec::xeon_e5_4603();
+        assert!(b.llc_bytes > a.llc_bytes);
+        assert_eq!(a.l2_bytes, b.l2_bytes);
+    }
+
+    #[test]
+    fn latencies_increase_down_the_hierarchy() {
+        let s = CacheSpec::default();
+        assert!(s.l2_hit_ns < s.llc_hit_ns);
+        assert!(s.llc_hit_ns < s.mem_ns);
+    }
+
+    #[test]
+    fn line_counts() {
+        let s = CacheSpec::i7_3770();
+        assert_eq!(s.lines(64), 1);
+        assert_eq!(s.lines(128), 2);
+        assert_eq!(s.lines(s.l2_bytes), 4096);
+    }
+}

@@ -1,0 +1,173 @@
+//! A stable event queue.
+//!
+//! [`EventQueue`] is a priority queue keyed on [`SimTime`] with FIFO
+//! ordering among events scheduled for the same instant. Stability
+//! matters for determinism: a simulation that schedules two events at
+//! the same nanosecond must always process them in insertion order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An entry in the heap: `(time, sequence)` orders events; `sequence`
+/// breaks ties in insertion order.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A time-ordered, insertion-stable event queue.
+///
+/// # Examples
+///
+/// ```
+/// use aql_sim::queue::EventQueue;
+/// use aql_sim::time::{SimTime, MS};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ms(2), "late");
+/// q.push(SimTime::from_ms(1), "early-a");
+/// q.push(SimTime::from_ms(1), "early-b");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_ms(1), "early-a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ms(1), "early-b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ms(2), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimTime, MS};
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(3), 3);
+        q.push(SimTime::from_ms(1), 1);
+        q.push(SimTime::from_ms(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stable_for_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_ms(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_ms(5), ());
+        q.push(SimTime::from_ms(4), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(4)));
+        let (t, ()) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_ms(4));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(5)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0);
+        q.push(SimTime::ZERO + MS, 1);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(10), "c");
+        q.push(SimTime::from_ms(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(SimTime::from_ms(5), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+}

@@ -1,0 +1,163 @@
+//! Seeded random-number helpers.
+//!
+//! All stochastic behaviour in the simulator (request arrivals, burst
+//! sizes, phase jitter) flows through [`SimRng`], a thin wrapper around
+//! a seeded [`rand::rngs::StdRng`]. A simulation carries exactly one
+//! `SimRng`; identical seeds yield identical traces.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic random source for one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use aql_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.uniform_u64(0, 100), b.uniform_u64(0, 100));
+/// ```
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful to give each VM
+    /// its own stream so adding a VM does not perturb the others.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.random::<u64>())
+    }
+
+    /// Uniform integer in `[lo, hi)`. `hi` must be greater than `lo`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo, "empty uniform range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.random::<f64>() < p
+    }
+
+    /// Exponentially distributed duration (nanoseconds) with the given
+    /// mean, for Poisson arrival processes. Returns at least 1 ns so
+    /// event times strictly advance.
+    pub fn exp_ns(&mut self, mean_ns: f64) -> u64 {
+        debug_assert!(mean_ns > 0.0, "non-positive mean {mean_ns}");
+        let u: f64 = self.inner.random::<f64>();
+        // Inverse-CDF sampling; `1 - u` avoids ln(0).
+        let x = -mean_ns * (1.0f64 - u).ln();
+        (x.max(1.0)) as u64
+    }
+
+    /// A duration (nanoseconds) jittered uniformly within
+    /// `[base * (1 - spread), base * (1 + spread)]`.
+    pub fn jitter_ns(&mut self, base_ns: u64, spread: f64) -> u64 {
+        let spread = spread.clamp(0.0, 1.0);
+        if spread == 0.0 || base_ns == 0 {
+            return base_ns.max(1);
+        }
+        let lo = (base_ns as f64 * (1.0 - spread)).max(1.0);
+        let hi = base_ns as f64 * (1.0 + spread);
+        let u = self.inner.random::<f64>();
+        (lo + u * (hi - lo)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1_000_000), b.uniform_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).all(|_| a.uniform_u64(0, u64::MAX - 1) == b.uniform_u64(0, u64::MAX - 1));
+        assert!(!same);
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.uniform_u64(0, 100), fb.uniform_u64(0, 100));
+    }
+
+    #[test]
+    fn exp_ns_mean_is_close() {
+        let mut r = SimRng::seed_from(11);
+        let mean = 50_000.0;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| r.exp_ns(mean)).sum();
+        let got = total as f64 / n as f64;
+        assert!(
+            (got - mean).abs() / mean < 0.05,
+            "sample mean {got} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exp_ns_is_positive() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            assert!(r.exp_ns(10.0) >= 1);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range probabilities are clamped, not panicking.
+        assert!(r.chance(2.0));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = SimRng::seed_from(9);
+        for _ in 0..1000 {
+            let v = r.jitter_ns(1000, 0.2);
+            assert!((800..=1200).contains(&v), "jitter {v} out of bounds");
+        }
+        assert_eq!(r.jitter_ns(1000, 0.0), 1000);
+        assert_eq!(r.jitter_ns(0, 0.5), 1);
+    }
+
+    #[test]
+    fn uniform_within_range() {
+        let mut r = SimRng::seed_from(13);
+        for _ in 0..1000 {
+            let v = r.uniform_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

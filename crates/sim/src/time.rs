@@ -1,0 +1,196 @@
+//! Simulated time.
+//!
+//! Instants are represented by [`SimTime`], a nanosecond counter starting
+//! at zero when the simulation boots. Durations are plain `u64`
+//! nanosecond counts; the [`NS`], [`US`], [`MS`] and [`SEC`] constants
+//! make call sites readable (`30 * MS`).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// One nanosecond, the base duration unit.
+pub const NS: u64 = 1;
+/// One microsecond in nanoseconds.
+pub const US: u64 = 1_000;
+/// One millisecond in nanoseconds.
+pub const MS: u64 = 1_000_000;
+/// One second in nanoseconds.
+pub const SEC: u64 = 1_000_000_000;
+
+/// An instant of simulated time, in nanoseconds since simulation boot.
+///
+/// `SimTime` is `Copy`, totally ordered, and supports adding a duration
+/// (`u64` nanoseconds) and subtracting another instant (yielding a
+/// duration).
+///
+/// # Examples
+///
+/// ```
+/// use aql_sim::time::{SimTime, MS};
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + 30 * MS;
+/// assert_eq!(t1 - t0, 30 * MS);
+/// assert!(t1 > t0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation boot instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from a millisecond count.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * MS)
+    }
+
+    /// Builds an instant from a microsecond count.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * US)
+    }
+
+    /// Builds an instant from a second count.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * SEC)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this instant expressed in (fractional) milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / MS as f64
+    }
+
+    /// Returns this instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / SEC as f64
+    }
+
+    /// Saturating duration since `earlier` (zero if `earlier` is later).
+    pub fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+
+    fn sub(self, rhs: SimTime) -> u64 {
+        debug_assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction underflow: {self:?} - {rhs:?}"
+        );
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.as_ms_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms_f64())
+    }
+}
+
+/// Formats a duration (nanoseconds) with a human-friendly unit.
+///
+/// # Examples
+///
+/// ```
+/// use aql_sim::time::{fmt_dur, MS, US};
+///
+/// assert_eq!(fmt_dur(30 * MS), "30ms");
+/// assert_eq!(fmt_dur(1500 * US), "1.5ms");
+/// assert_eq!(fmt_dur(250), "250ns");
+/// ```
+pub fn fmt_dur(ns: u64) -> String {
+    if ns >= SEC && ns.is_multiple_of(SEC) {
+        format!("{}s", ns / SEC)
+    } else if ns >= MS {
+        if ns.is_multiple_of(MS) {
+            format!("{}ms", ns / MS)
+        } else {
+            format!("{}ms", ns as f64 / MS as f64)
+        }
+    } else if ns >= US {
+        if ns.is_multiple_of(US) {
+            format!("{}us", ns / US)
+        } else {
+            format!("{}us", ns as f64 / US as f64)
+        }
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(SimTime::from_ms(1).as_ns(), MS);
+        assert_eq!(SimTime::from_us(1).as_ns(), US);
+        assert_eq!(SimTime::from_secs(1).as_ns(), SEC);
+        assert_eq!(SimTime::from_ms(1000), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_ms(5);
+        assert_eq!((t + 10 * MS) - t, 10 * MS);
+        let mut u = t;
+        u += 2 * MS;
+        assert_eq!(u, SimTime::from_ms(7));
+    }
+
+    #[test]
+    fn saturating_since_does_not_underflow() {
+        let a = SimTime::from_ms(1);
+        let b = SimTime::from_ms(2);
+        assert_eq!(b.saturating_since(a), MS);
+        assert_eq!(a.saturating_since(b), 0);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_us(999) < SimTime::from_ms(1));
+        assert!(SimTime::ZERO < SimTime(1));
+    }
+
+    #[test]
+    fn float_views() {
+        assert!((SimTime::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((SimTime::from_us(1500).as_ms_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(90 * MS), "90ms");
+        assert_eq!(fmt_dur(1 * SEC), "1s");
+        assert_eq!(fmt_dur(10 * US), "10us");
+        assert_eq!(fmt_dur(1), "1ns");
+    }
+}

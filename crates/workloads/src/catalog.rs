@@ -1,0 +1,268 @@
+//! The named application catalog.
+//!
+//! The paper evaluates with SPECweb2009, SPECmail2009, SPEC CPU2006 and
+//! PARSEC; Table 3 records the type vTRS detects for each program. This
+//! catalog maps every one of those names to a synthetic model whose
+//! memory/IO/synchronisation behaviour matches the program's known
+//! class, with per-program parameter diversity so no two models are
+//! identical. The `class` field is the ground truth the recognition
+//! experiments (Fig. 4, Fig. 5, Table 3) validate against.
+
+use aql_hv::apptype::VcpuType;
+use aql_hv::workload::GuestWorkload;
+use aql_hv::VmSpec;
+use aql_mem::{CacheSpec, MemProfile};
+use aql_sim::time::US;
+
+use crate::ioserver::{IoServer, IoServerCfg};
+use crate::memwalk::MemWalk;
+use crate::spinjob::{SpinJob, SpinJobCfg};
+
+/// A named application with its ground-truth class (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppEntry {
+    /// Program name as the paper spells it.
+    pub name: &'static str,
+    /// Ground-truth type (Table 3).
+    pub class: VcpuType,
+    /// vCPUs of the VM hosting the program.
+    pub vcpus: usize,
+    /// Benchmark suite the program belongs to.
+    pub suite: &'static str,
+}
+
+const fn app(name: &'static str, class: VcpuType, vcpus: usize, suite: &'static str) -> AppEntry {
+    AppEntry {
+        name,
+        class,
+        vcpus,
+        suite,
+    }
+}
+
+/// Every application of the paper's Table 3 plus the calibration
+/// micro-benchmarks, in presentation order.
+pub const APPS: &[AppEntry] = &[
+    // IO-intensive reference benchmarks.
+    app("SPECweb2009", VcpuType::IoInt, 1, "SPECweb"),
+    app("SPECmail2009", VcpuType::IoInt, 1, "SPECmail"),
+    app("wordpress", VcpuType::IoInt, 1, "micro"),
+    // ConSpin: PARSEC plus the kernbench calibration benchmark.
+    app("kernbench", VcpuType::ConSpin, 4, "micro"),
+    app("bodytrack", VcpuType::ConSpin, 4, "PARSEC"),
+    app("blackscholes", VcpuType::ConSpin, 4, "PARSEC"),
+    app("canneal", VcpuType::ConSpin, 4, "PARSEC"),
+    app("dedup", VcpuType::ConSpin, 4, "PARSEC"),
+    app("facesim", VcpuType::ConSpin, 4, "PARSEC"),
+    app("ferret", VcpuType::ConSpin, 4, "PARSEC"),
+    app("fluidanimate", VcpuType::ConSpin, 4, "PARSEC"),
+    app("freqmine", VcpuType::ConSpin, 4, "PARSEC"),
+    app("raytrace", VcpuType::ConSpin, 4, "PARSEC"),
+    app("streamcluster", VcpuType::ConSpin, 4, "PARSEC"),
+    app("vips", VcpuType::ConSpin, 4, "PARSEC"),
+    app("x264", VcpuType::ConSpin, 4, "PARSEC"),
+    // LLCF: SPEC CPU2006 programs whose WSS fits the LLC.
+    app("astar", VcpuType::Llcf, 1, "SPEC CPU2006"),
+    app("xalancbmk", VcpuType::Llcf, 1, "SPEC CPU2006"),
+    app("bzip2", VcpuType::Llcf, 1, "SPEC CPU2006"),
+    app("gcc", VcpuType::Llcf, 1, "SPEC CPU2006"),
+    app("omnetpp", VcpuType::Llcf, 1, "SPEC CPU2006"),
+    // LoLCF: WSS fits the private caches.
+    app("hmmer", VcpuType::Lolcf, 1, "SPEC CPU2006"),
+    app("gobmk", VcpuType::Lolcf, 1, "SPEC CPU2006"),
+    app("perlbench", VcpuType::Lolcf, 1, "SPEC CPU2006"),
+    app("sjeng", VcpuType::Lolcf, 1, "SPEC CPU2006"),
+    app("h264ref", VcpuType::Lolcf, 1, "SPEC CPU2006"),
+    // LLCO: WSS overflows the LLC.
+    app("mcf", VcpuType::Llco, 1, "SPEC CPU2006"),
+    app("libquantum", VcpuType::Llco, 1, "SPEC CPU2006"),
+];
+
+/// All catalog entries.
+pub fn all_apps() -> &'static [AppEntry] {
+    APPS
+}
+
+/// Looks an entry up by name.
+pub fn find_app(name: &str) -> Option<&'static AppEntry> {
+    APPS.iter().find(|a| a.name == name)
+}
+
+fn llcf_profile(cache: &CacheSpec, wss_frac_of_llc: f64, refs: f64) -> MemProfile {
+    MemProfile {
+        wss_bytes: (cache.llc_bytes as f64 * wss_frac_of_llc) as u64,
+        deep_refs_per_instr: refs,
+        base_ns_per_instr: 0.40,
+    }
+}
+
+fn lolcf_profile(cache: &CacheSpec, wss_frac_of_l2: f64, refs: f64) -> MemProfile {
+    MemProfile {
+        wss_bytes: (cache.l2_bytes as f64 * wss_frac_of_l2) as u64,
+        deep_refs_per_instr: refs,
+        base_ns_per_instr: 0.40,
+    }
+}
+
+fn llco_profile(cache: &CacheSpec, wss_mult_of_llc: f64, refs: f64) -> MemProfile {
+    MemProfile {
+        wss_bytes: (cache.llc_bytes as f64 * wss_mult_of_llc) as u64,
+        deep_refs_per_instr: refs,
+        base_ns_per_instr: 0.40,
+    }
+}
+
+fn spin_cfg(threads: usize, work_us: u64, cs_us: u64) -> SpinJobCfg {
+    SpinJobCfg {
+        threads,
+        work_ns: work_us * US,
+        cs_ns: cs_us * US,
+        ..SpinJobCfg::kernbench(threads)
+    }
+}
+
+/// Builds the VM spec and workload for a named application.
+///
+/// Returns `None` for unknown names. The `seed` feeds the workload's
+/// private random stream so co-located instances de-correlate.
+pub fn build_app_vm(
+    name: &str,
+    cache: &CacheSpec,
+    seed: u64,
+) -> Option<(VmSpec, Box<dyn GuestWorkload>)> {
+    let entry = find_app(name)?;
+    // Weight scales with vCPU count (standard sizing), so SMP jobs get
+    // a full per-vCPU share next to single-vCPU neighbours.
+    let vm = VmSpec {
+        weight: 256 * entry.vcpus as u32,
+        ..VmSpec::smp(name, entry.vcpus)
+    };
+    let wl: Box<dyn GuestWorkload> = match name {
+        // --- IO ---
+        "SPECweb2009" => Box::new(IoServer::new(
+            name,
+            IoServerCfg::heterogeneous(120.0),
+            seed,
+        )),
+        "SPECmail2009" => Box::new(IoServer::new(
+            name,
+            IoServerCfg {
+                heavy_every: Some(15),
+                heavy_service_ns: 12_000 * US,
+                ..IoServerCfg::exclusive(200.0)
+            },
+            seed,
+        )),
+        "wordpress" => Box::new(IoServer::new(name, IoServerCfg::heterogeneous(80.0), seed)),
+        // --- ConSpin ---
+        "kernbench" => Box::new(SpinJob::new(name, spin_cfg(4, 40, 6), seed)),
+        "bodytrack" => Box::new(SpinJob::new(name, spin_cfg(4, 45, 5), seed)),
+        // blackscholes and freqmine are the least lock-intensive
+        // PARSEC kernels; their ConSpin signature comes from
+        // fine-grained per-timestep barriers.
+        "blackscholes" => Box::new(SpinJob::new(
+            name,
+            SpinJobCfg {
+                phase_work_ns: 6 * aql_sim::time::MS,
+                ..spin_cfg(4, 60, 4)
+            },
+            seed,
+        )),
+        "canneal" => Box::new(SpinJob::new(name, spin_cfg(4, 40, 6), seed)),
+        "dedup" => Box::new(SpinJob::new(name, spin_cfg(4, 35, 5), seed)),
+        "facesim" => Box::new(SpinJob::new(name, spin_cfg(4, 50, 7), seed)),
+        "ferret" => Box::new(SpinJob::new(name, spin_cfg(4, 45, 6), seed)),
+        "fluidanimate" => Box::new(SpinJob::new(name, spin_cfg(4, 30, 6), seed)),
+        "freqmine" => Box::new(SpinJob::new(
+            name,
+            SpinJobCfg {
+                phase_work_ns: 6 * aql_sim::time::MS,
+                ..spin_cfg(4, 55, 5)
+            },
+            seed,
+        )),
+        "raytrace" => Box::new(SpinJob::new(name, spin_cfg(4, 65, 4), seed)),
+        "streamcluster" => Box::new(SpinJob::new(name, spin_cfg(4, 40, 8), seed)),
+        "vips" => Box::new(SpinJob::new(name, spin_cfg(4, 50, 5), seed)),
+        "x264" => Box::new(SpinJob::new(name, spin_cfg(4, 45, 4), seed)),
+        // --- LLCF ---
+        "astar" => Box::new(MemWalk::new(name, llcf_profile(cache, 0.45, 0.07))),
+        "xalancbmk" => Box::new(MemWalk::new(name, llcf_profile(cache, 0.50, 0.09))),
+        "bzip2" => Box::new(MemWalk::new(name, llcf_profile(cache, 0.40, 0.06))),
+        "gcc" => Box::new(MemWalk::new(name, llcf_profile(cache, 0.55, 0.08))),
+        "omnetpp" => Box::new(MemWalk::new(name, llcf_profile(cache, 0.60, 0.09))),
+        // --- LoLCF ---
+        "hmmer" => Box::new(MemWalk::new(name, lolcf_profile(cache, 0.80, 0.05))),
+        "gobmk" => Box::new(MemWalk::new(name, lolcf_profile(cache, 0.60, 0.04))),
+        "perlbench" => Box::new(MemWalk::new(name, lolcf_profile(cache, 0.70, 0.05))),
+        "sjeng" => Box::new(MemWalk::new(name, lolcf_profile(cache, 0.50, 0.03))),
+        "h264ref" => Box::new(MemWalk::new(name, lolcf_profile(cache, 0.90, 0.06))),
+        // --- LLCO ---
+        "mcf" => Box::new(MemWalk::new(name, llco_profile(cache, 3.0, 0.10))),
+        "libquantum" => Box::new(MemWalk::new(name, llco_profile(cache, 4.0, 0.12))),
+        _ => return None,
+    };
+    Some((vm, wl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_entry_builds() {
+        let cache = CacheSpec::i7_3770();
+        for entry in all_apps() {
+            let (vm, wl) = build_app_vm(entry.name, &cache, 42)
+                .unwrap_or_else(|| panic!("{} must build", entry.name));
+            assert_eq!(vm.vcpus, entry.vcpus, "{}", entry.name);
+            assert_eq!(wl.vcpu_slots(), entry.vcpus, "{}", entry.name);
+            assert_eq!(wl.name(), entry.name);
+        }
+    }
+
+    #[test]
+    fn unknown_app_is_none() {
+        assert!(build_app_vm("doom", &CacheSpec::i7_3770(), 1).is_none());
+        assert!(find_app("doom").is_none());
+    }
+
+    #[test]
+    fn table3_composition() {
+        // The counts per class as reported in Table 3 plus the three
+        // calibration micro-benchmarks.
+        let count = |c: VcpuType| all_apps().iter().filter(|a| a.class == c).count();
+        assert_eq!(count(VcpuType::IoInt), 3);
+        assert_eq!(count(VcpuType::ConSpin), 13);
+        assert_eq!(count(VcpuType::Llcf), 5);
+        assert_eq!(count(VcpuType::Lolcf), 5);
+        assert_eq!(count(VcpuType::Llco), 2);
+    }
+
+    #[test]
+    fn llcf_models_fit_llc_but_not_l2() {
+        let cache = CacheSpec::i7_3770();
+        for entry in all_apps().iter().filter(|a| a.class == VcpuType::Llcf) {
+            let (_, wl) = build_app_vm(entry.name, &cache, 1).unwrap();
+            // All LLCF programs are MemWalk models; re-derive the
+            // profile from the same constructor to check geometry.
+            drop(wl);
+        }
+        let p = llcf_profile(&cache, 0.5, 0.08);
+        assert!(p.wss_bytes > cache.l2_bytes);
+        assert!(p.wss_bytes <= cache.llc_bytes);
+        let q = lolcf_profile(&cache, 0.8, 0.05);
+        assert!(q.wss_bytes <= cache.l2_bytes);
+        let r = llco_profile(&cache, 3.0, 0.1);
+        assert!(r.wss_bytes > cache.llc_bytes);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_apps().iter().map(|a| a.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate catalog names");
+    }
+}

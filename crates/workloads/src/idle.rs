@@ -1,0 +1,79 @@
+//! A permanently idle VM.
+
+use aql_hv::workload::{ExecContext, GuestWorkload, RunOutcome, StopReason, TimerFire, WorkloadMetrics};
+use aql_sim::time::SimTime;
+
+/// A VM that never wants the CPU; useful as scenario padding and in
+/// scheduler tests.
+#[derive(Debug, Clone)]
+pub struct IdleWorkload {
+    name: String,
+    slots: usize,
+}
+
+impl IdleWorkload {
+    /// Creates an idle workload driving `slots` vCPUs.
+    pub fn new(name: &str, slots: usize) -> Self {
+        IdleWorkload {
+            name: name.to_string(),
+            slots,
+        }
+    }
+}
+
+impl GuestWorkload for IdleWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn vcpu_slots(&self) -> usize {
+        self.slots
+    }
+
+    fn run(&mut self, _slot: usize, _budget_ns: u64, _ctx: &mut ExecContext<'_>) -> RunOutcome {
+        RunOutcome {
+            used_ns: 0,
+            stop: StopReason::Blocked,
+        }
+    }
+
+    fn runnable(&self, _slot: usize) -> bool {
+        false
+    }
+
+    fn next_timer(&self, _slot: usize) -> Option<SimTime> {
+        None
+    }
+
+    fn on_timer(&mut self, _slot: usize, _now: SimTime) -> TimerFire {
+        TimerFire::default()
+    }
+
+    fn metrics(&self) -> WorkloadMetrics {
+        WorkloadMetrics::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_hv::{MachineSpec, SimulationBuilder, VmSpec};
+    use aql_mem::CacheSpec;
+    use aql_sim::time::SEC;
+
+    #[test]
+    fn idle_vm_consumes_nothing() {
+        let mut sim = SimulationBuilder::new(MachineSpec::custom(
+            "1core",
+            1,
+            1,
+            CacheSpec::i7_3770(),
+        ))
+        .vm(VmSpec::smp("idle", 2), Box::new(IdleWorkload::new("idle", 2)))
+        .build();
+        sim.run_for(SEC);
+        let report = sim.report();
+        assert_eq!(report.vms[0].cpu_ns(), 0);
+        assert_eq!(report.utilisation(), 0.0);
+    }
+}

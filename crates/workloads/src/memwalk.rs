@@ -1,0 +1,196 @@
+//! CPU-burn memory walkers.
+//!
+//! [`MemWalk`] models the linked-list parser of the paper's
+//! calibration \[27\]: a single-threaded loop re-referencing a working
+//! set of configurable size. Its class follows from the WSS alone:
+//! `LoLCF` (WSS ≤ L2), `LLCF` (WSS ≤ LLC) or `LLCO` (WSS > LLC). The
+//! workload never blocks or yields: it is a pure CPU burner whose
+//! performance metric is retired instructions.
+
+use aql_hv::workload::{ExecContext, GuestWorkload, RunOutcome, TimerFire, WorkloadMetrics};
+use aql_mem::{CacheSpec, MemProfile};
+use aql_sim::time::SimTime;
+
+/// A single-vCPU memory-walking workload.
+///
+/// # Examples
+///
+/// ```
+/// use aql_workloads::MemWalk;
+/// use aql_mem::CacheSpec;
+///
+/// let spec = CacheSpec::i7_3770();
+/// let w = MemWalk::llcf("bzip2-model", &spec);
+/// assert_eq!(w.profile().wss_bytes, spec.llc_bytes / 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemWalk {
+    name: String,
+    profile: MemProfile,
+    instructions: f64,
+}
+
+impl MemWalk {
+    /// A walker with an explicit memory profile.
+    pub fn new(name: &str, profile: MemProfile) -> Self {
+        MemWalk {
+            name: name.to_string(),
+            profile,
+            instructions: 0.0,
+        }
+    }
+
+    /// An LLC-friendly walker (WSS = LLC/2, the paper's calibration).
+    pub fn llcf(name: &str, spec: &CacheSpec) -> Self {
+        MemWalk::new(name, MemProfile::llcf(spec))
+    }
+
+    /// A low-level-cache walker (WSS = 90% of L2).
+    pub fn lolcf(name: &str, spec: &CacheSpec) -> Self {
+        MemWalk::new(name, MemProfile::lolcf(spec))
+    }
+
+    /// A trashing walker (WSS = 4× LLC).
+    pub fn llco(name: &str, spec: &CacheSpec) -> Self {
+        MemWalk::new(name, MemProfile::llco(spec))
+    }
+
+    /// The walker's memory profile.
+    pub fn profile(&self) -> &MemProfile {
+        &self.profile
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> f64 {
+        self.instructions
+    }
+}
+
+impl GuestWorkload for MemWalk {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn vcpu_slots(&self) -> usize {
+        1
+    }
+
+    fn run(&mut self, slot: usize, budget_ns: u64, ctx: &mut ExecContext<'_>) -> RunOutcome {
+        debug_assert_eq!(slot, 0);
+        let out = ctx.exec_mem(&self.profile, budget_ns);
+        self.instructions += out.instructions;
+        RunOutcome::ran_all(budget_ns)
+    }
+
+    fn runnable(&self, _slot: usize) -> bool {
+        true
+    }
+
+    fn next_timer(&self, _slot: usize) -> Option<SimTime> {
+        None
+    }
+
+    fn on_timer(&mut self, _slot: usize, _now: SimTime) -> TimerFire {
+        TimerFire::default()
+    }
+
+    fn metrics(&self) -> WorkloadMetrics {
+        WorkloadMetrics::Mem {
+            instructions: self.instructions,
+        }
+    }
+
+    fn reset_metrics(&mut self) {
+        self.instructions = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_hv::{FixedQuantumPolicy, MachineSpec, SimulationBuilder, VmSpec};
+    use aql_sim::time::{MS, SEC};
+
+    fn one_core_machine() -> MachineSpec {
+        MachineSpec::custom("1core", 1, 1, CacheSpec::i7_3770())
+    }
+
+    #[test]
+    fn walker_retires_instructions_alone() {
+        let spec = CacheSpec::i7_3770();
+        let mut sim = SimulationBuilder::new(one_core_machine())
+            .policy(Box::new(FixedQuantumPolicy::xen_default()))
+            .vm(
+                VmSpec::single("walker"),
+                Box::new(MemWalk::llcf("walker", &spec)),
+            )
+            .build();
+        sim.run_for(SEC);
+        let report = sim.report();
+        let m = &report.vms[0].metrics;
+        let WorkloadMetrics::Mem { instructions } = m else {
+            panic!("expected Mem metrics, got {m:?}");
+        };
+        // Alone on a core, an LLCF walker should retire hundreds of
+        // millions of instructions per second once warm.
+        assert!(
+            *instructions > 1e8,
+            "too slow for a warm solo walker: {instructions}"
+        );
+        // And the core should be ~100% busy.
+        assert!(report.utilisation() > 0.99);
+    }
+
+    #[test]
+    fn two_walkers_share_a_core_fairly() {
+        let spec = CacheSpec::i7_3770();
+        let mut sim = SimulationBuilder::new(one_core_machine())
+            .policy(Box::new(FixedQuantumPolicy::xen_default()))
+            .vm(VmSpec::single("a"), Box::new(MemWalk::lolcf("a", &spec)))
+            .vm(VmSpec::single("b"), Box::new(MemWalk::lolcf("b", &spec)))
+            .build();
+        sim.run_for(3 * SEC);
+        let report = sim.report();
+        let a = report.vm_by_name("a").unwrap().cpu_ns() as f64;
+        let b = report.vm_by_name("b").unwrap().cpu_ns() as f64;
+        let ratio = a / b;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "equal-weight VMs should split the core evenly, ratio {ratio}"
+        );
+        assert!(report.jain_fairness() > 0.99);
+    }
+
+    #[test]
+    fn llcf_with_trasher_prefers_long_quanta() {
+        // The core claim of Fig. 2(d): an LLCF walker co-scheduled with
+        // trashers performs better under a 90 ms quantum than 1 ms.
+        let spec = CacheSpec::i7_3770();
+        let run = |quantum: u64| -> f64 {
+            let mut sim = SimulationBuilder::new(one_core_machine())
+                .policy(Box::new(FixedQuantumPolicy::new(quantum)))
+                .vm(
+                    VmSpec::single("victim"),
+                    Box::new(MemWalk::llcf("victim", &spec)),
+                )
+                .vm(VmSpec::single("t1"), Box::new(MemWalk::llco("t1", &spec)))
+                .vm(VmSpec::single("t2"), Box::new(MemWalk::llco("t2", &spec)))
+                .vm(VmSpec::single("t3"), Box::new(MemWalk::llco("t3", &spec)))
+                .build();
+            sim.run_for(4 * SEC);
+            let report = sim.report();
+            let WorkloadMetrics::Mem { instructions } =
+                report.vm_by_name("victim").unwrap().metrics
+            else {
+                panic!("expected Mem metrics");
+            };
+            instructions
+        };
+        let short = run(MS);
+        let long = run(90 * MS);
+        assert!(
+            long > 1.15 * short,
+            "a long quantum should help the LLCF victim: 90ms={long}, 1ms={short}"
+        );
+    }
+}

@@ -1,0 +1,604 @@
+//! A spin-synchronised parallel job.
+//!
+//! Models the paper's `ConSpin` class (kernbench, PARSEC): `T` guest
+//! threads, one per vCPU, execute data-parallel *phases*. Within a
+//! phase a thread alternates independent work segments with short
+//! critical sections guarded by a ticket spin-lock; at the end of the
+//! phase all threads meet at a spin barrier (PARSEC's kernels are
+//! barrier-structured; kernbench's `make -j` joins behave alike).
+//!
+//! Under virtualization three pathologies emerge mechanically (§3.2):
+//!
+//! * **Lock-holder preemption** — the quantum expires inside a critical
+//!   section; waiters spin until the holder's vCPU is rescheduled, up
+//!   to (co-runners × quantum) later.
+//! * **Lock-waiter preemption** — a ticket lock hands ownership to the
+//!   next ticket at release; a descheduled waiter stalls the lock just
+//!   as long.
+//! * **Barrier straggling** — a phase completes when its *last* thread
+//!   arrives; with time-sliced vCPUs the arrival skew grows with the
+//!   quantum length, so phase throughput degrades as the quantum
+//!   grows. This is the dominant, resonance-free mechanism behind
+//!   Fig. 2(c)'s shape.
+//!
+//! Spinning (on the lock or the barrier) burns CPU and raises
+//! Pause-Loop-Exiting traps — the signal vTRS uses to detect
+//! `ConSpin`. As the paper puts it, waiting threads "consume their
+//! entire quantum to carry out an active standby": by default no
+//! directed yield is performed; set [`SpinJobCfg::yield_on_ple`] to
+//! study that mitigation (ablation bench).
+
+use aql_hv::spinlock::TicketLock;
+use aql_hv::workload::{
+    ExecContext, GuestWorkload, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
+};
+use aql_mem::MemProfile;
+use aql_sim::rng::SimRng;
+use aql_sim::stats::OnlineStats;
+use aql_sim::time::{SimTime, MS, US};
+
+/// Configuration of a [`SpinJob`].
+#[derive(Debug, Clone)]
+pub struct SpinJobCfg {
+    /// Guest threads; one per vCPU slot.
+    pub threads: usize,
+    /// Independent work per segment (ns, jittered).
+    pub work_ns: u64,
+    /// Critical-section length (ns, jittered).
+    pub cs_ns: u64,
+    /// Uniform jitter on work and CS lengths, `[0, 1]`.
+    pub jitter: f64,
+    /// Per-thread CPU work per parallel phase (ns, jittered ±50%);
+    /// `0` disables barriers (pure lock-cycle workload).
+    pub phase_work_ns: u64,
+    /// Spin time before a Pause-Loop-Exiting trap fires (ns).
+    pub ple_window_ns: u64,
+    /// Whether a PLE trap yields the vCPU (directed yield).
+    pub yield_on_ple: bool,
+    /// Probability a work segment ends with a lock acquisition;
+    /// segments that do not are lock-free.
+    pub lock_prob: f64,
+    /// Lock fabric: `false` (default) models a test-and-set lock —
+    /// release hands the lock to whichever *running* spinner tries
+    /// first; `true` models a FIFO ticket lock, whose strict order
+    /// hands ownership to possibly-descheduled waiters (the
+    /// lock-waiter-preemption pathology of \[39\], kept as an ablation).
+    pub fifo_lock: bool,
+    /// Memory profile of the work phase.
+    pub profile: MemProfile,
+}
+
+impl SpinJobCfg {
+    /// A kernbench/PARSEC-like job: `threads` threads, fine-grained
+    /// (15 ms) barrier phases as in PARSEC's per-timestep kernels,
+    /// moderate lock pressure.
+    pub fn kernbench(threads: usize) -> Self {
+        SpinJobCfg {
+            threads,
+            work_ns: 40 * US,
+            cs_ns: 6 * US,
+            jitter: 0.3,
+            phase_work_ns: 15 * MS,
+            ple_window_ns: 25 * US,
+            yield_on_ple: false,
+            lock_prob: 0.25,
+            fifo_lock: false,
+            // Compiler-like working set: enough LLC traffic that vTRS
+            // does not mistake the job for LoLCF.
+            profile: MemProfile {
+                wss_bytes: 1536 * 1024,
+                deep_refs_per_instr: 0.02,
+                base_ns_per_instr: 0.40,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Computing outside the lock.
+    Working { remaining_ns: u64 },
+    /// Spinning for the lock (`ticket` used in FIFO mode only).
+    Waiting { ticket: Option<u64>, since: SimTime },
+    /// Inside the critical section; `owned_since` is when this ticket
+    /// became the lock owner (possibly while descheduled).
+    InCs {
+        remaining_ns: u64,
+        owned_since: SimTime,
+    },
+    /// Arrived at the phase barrier, spinning for generation
+    /// `target_gen`.
+    AtBarrier { target_gen: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct Thread {
+    phase: Phase,
+    /// CPU work left in the current parallel phase.
+    phase_left_ns: u64,
+    spin_acc_ns: u64,
+}
+
+/// A multi-threaded spin-synchronised job (one thread per vCPU slot).
+#[derive(Debug)]
+pub struct SpinJob {
+    name: String,
+    cfg: SpinJobCfg,
+    rng: SimRng,
+    lock: TicketLock,
+    tas_owner: Option<usize>,
+    tas_owned_since: SimTime,
+    threads: Vec<Thread>,
+    barrier_gen: u64,
+    arrived: usize,
+    phases_done: u64,
+    work_items: u64,
+    hold_ns: OnlineStats,
+    wait_ns: OnlineStats,
+    spin_total_ns: u64,
+}
+
+impl SpinJob {
+    /// Creates the job; `cfg.threads` must be at least 1.
+    pub fn new(name: &str, cfg: SpinJobCfg, seed: u64) -> Self {
+        assert!(cfg.threads >= 1, "a spin job needs at least one thread");
+        assert!(cfg.ple_window_ns > 0, "PLE window must be positive");
+        let mut rng = SimRng::seed_from(seed);
+        let phase_budget = |rng: &mut SimRng| -> u64 {
+            if cfg.phase_work_ns == 0 {
+                u64::MAX
+            } else {
+                rng.jitter_ns(cfg.phase_work_ns, 0.5)
+            }
+        };
+        let threads = (0..cfg.threads)
+            .map(|_| {
+                let phase_left_ns = phase_budget(&mut rng);
+                Thread {
+                    phase: Phase::Working {
+                        remaining_ns: rng.jitter_ns(cfg.work_ns, cfg.jitter.max(0.2)),
+                    },
+                    phase_left_ns,
+                    spin_acc_ns: 0,
+                }
+            })
+            .collect();
+        SpinJob {
+            name: name.to_string(),
+            cfg,
+            rng,
+            lock: TicketLock::new(),
+            tas_owner: None,
+            tas_owned_since: SimTime::ZERO,
+            threads,
+            barrier_gen: 0,
+            arrived: 0,
+            phases_done: 0,
+            work_items: 0,
+            hold_ns: OnlineStats::new(),
+            wait_ns: OnlineStats::new(),
+            spin_total_ns: 0,
+        }
+    }
+
+    /// Work segments completed across all threads (a fixed quota per
+    /// phase, so segment throughput tracks phase throughput).
+    pub fn work_items(&self) -> u64 {
+        self.work_items
+    }
+
+    /// Parallel phases completed.
+    pub fn phases_done(&self) -> u64 {
+        self.phases_done
+    }
+
+    /// Mean observed lock-ownership duration, including time the
+    /// owner's vCPU was descheduled.
+    pub fn lock_hold_mean_ns(&self) -> f64 {
+        self.hold_ns.mean()
+    }
+
+    /// Longest observed lock-ownership duration.
+    pub fn lock_hold_max_ns(&self) -> f64 {
+        self.hold_ns.max().unwrap_or(0.0)
+    }
+
+    /// Mean lock acquisition wait (ticket drawn to entry).
+    pub fn lock_wait_mean_ns(&self) -> f64 {
+        self.wait_ns.mean()
+    }
+
+    fn new_phase_budget(&mut self) -> u64 {
+        if self.cfg.phase_work_ns == 0 {
+            u64::MAX
+        } else {
+            self.rng.jitter_ns(self.cfg.phase_work_ns, 0.5)
+        }
+    }
+
+    /// Spins for up to `budget` ns; returns (consumed, yield-now).
+    fn spin(&mut self, slot: usize, budget: u64, ctx: &mut ExecContext<'_>) -> (u64, bool) {
+        let window_left = self
+            .cfg
+            .ple_window_ns
+            .saturating_sub(self.threads[slot].spin_acc_ns)
+            .max(1);
+        let dt = window_left.min(budget);
+        self.spin_total_ns += dt;
+        self.threads[slot].spin_acc_ns += dt;
+        if self.threads[slot].spin_acc_ns >= self.cfg.ple_window_ns {
+            ctx.ple_exits(1);
+            self.threads[slot].spin_acc_ns = 0;
+            if self.cfg.yield_on_ple {
+                return (dt, true);
+            }
+        }
+        (dt, false)
+    }
+}
+
+impl GuestWorkload for SpinJob {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn vcpu_slots(&self) -> usize {
+        self.cfg.threads
+    }
+
+    fn run(&mut self, slot: usize, budget_ns: u64, ctx: &mut ExecContext<'_>) -> RunOutcome {
+        let mut used: u64 = 0;
+        while used < budget_ns {
+            let now = ctx.now + used;
+            match self.threads[slot].phase {
+                Phase::Working { remaining_ns } => {
+                    let dt = remaining_ns.min(budget_ns - used);
+                    let profile = self.cfg.profile;
+                    let _ = ctx.exec_mem(&profile, dt);
+                    used += dt;
+                    self.threads[slot].phase_left_ns =
+                        self.threads[slot].phase_left_ns.saturating_sub(dt);
+                    let left = remaining_ns - dt;
+                    if left > 0 {
+                        self.threads[slot].phase = Phase::Working { remaining_ns: left };
+                        continue;
+                    }
+                    self.work_items += 1;
+                    if self.threads[slot].phase_left_ns == 0 {
+                        // Phase work done: arrive at the barrier.
+                        self.arrived += 1;
+                        let target_gen = self.barrier_gen + 1;
+                        if self.arrived == self.cfg.threads {
+                            self.arrived = 0;
+                            self.barrier_gen += 1;
+                            self.phases_done += 1;
+                        }
+                        self.threads[slot].phase = Phase::AtBarrier { target_gen };
+                    } else if self.rng.chance(self.cfg.lock_prob) {
+                        let ticket = self
+                            .cfg
+                            .fifo_lock
+                            .then(|| self.lock.take_ticket(ctx.now + used));
+                        self.threads[slot].phase = Phase::Waiting {
+                            ticket,
+                            since: ctx.now + used,
+                        };
+                    } else {
+                        self.threads[slot].phase = Phase::Working {
+                            remaining_ns: self.rng.jitter_ns(self.cfg.work_ns, self.cfg.jitter),
+                        };
+                    }
+                }
+                Phase::Waiting { ticket, since } => {
+                    let (acquired, owned_since) = match ticket {
+                        Some(t) => (self.lock.is_turn(t), self.lock.serving_since()),
+                        None => (self.tas_owner.is_none(), now),
+                    };
+                    if acquired {
+                        if ticket.is_none() {
+                            self.tas_owner = Some(slot);
+                            self.tas_owned_since = now;
+                        }
+                        self.wait_ns.add(now.saturating_since(since) as f64);
+                        self.threads[slot].spin_acc_ns = 0;
+                        self.threads[slot].phase = Phase::InCs {
+                            remaining_ns: self.rng.jitter_ns(self.cfg.cs_ns, self.cfg.jitter),
+                            owned_since,
+                        };
+                        continue;
+                    }
+                    let (dt, yield_now) = self.spin(slot, budget_ns - used, ctx);
+                    used += dt;
+                    if yield_now {
+                        return RunOutcome {
+                            used_ns: used,
+                            stop: StopReason::Yielded,
+                        };
+                    }
+                }
+                Phase::InCs {
+                    remaining_ns,
+                    owned_since,
+                } => {
+                    let dt = remaining_ns.min(budget_ns - used);
+                    let profile = self.cfg.profile;
+                    let _ = ctx.exec_mem(&profile, dt);
+                    used += dt;
+                    self.threads[slot].phase_left_ns =
+                        self.threads[slot].phase_left_ns.saturating_sub(dt);
+                    let left = remaining_ns - dt;
+                    if left == 0 {
+                        let release_at = ctx.now + used;
+                        if self.cfg.fifo_lock {
+                            self.lock.release(release_at);
+                        } else {
+                            debug_assert_eq!(self.tas_owner, Some(slot));
+                            self.tas_owner = None;
+                        }
+                        // Ownership duration — the paper's "lock
+                        // duration" — includes any time the owner's
+                        // vCPU was descheduled.
+                        self.hold_ns
+                            .add(release_at.saturating_since(owned_since) as f64);
+                        self.threads[slot].phase = Phase::Working {
+                            remaining_ns: self.rng.jitter_ns(self.cfg.work_ns, self.cfg.jitter),
+                        };
+                    } else {
+                        self.threads[slot].phase = Phase::InCs {
+                            remaining_ns: left,
+                            owned_since,
+                        };
+                    }
+                }
+                Phase::AtBarrier { target_gen } => {
+                    if self.barrier_gen >= target_gen {
+                        // Barrier crossed: start the next phase.
+                        self.threads[slot].spin_acc_ns = 0;
+                        self.threads[slot].phase_left_ns = self.new_phase_budget();
+                        self.threads[slot].phase = Phase::Working {
+                            remaining_ns: self.rng.jitter_ns(self.cfg.work_ns, self.cfg.jitter),
+                        };
+                        continue;
+                    }
+                    let (dt, yield_now) = self.spin(slot, budget_ns - used, ctx);
+                    used += dt;
+                    if yield_now {
+                        return RunOutcome {
+                            used_ns: used,
+                            stop: StopReason::Yielded,
+                        };
+                    }
+                }
+            }
+        }
+        RunOutcome::ran_all(budget_ns)
+    }
+
+    fn runnable(&self, _slot: usize) -> bool {
+        true
+    }
+
+    fn next_timer(&self, _slot: usize) -> Option<SimTime> {
+        None
+    }
+
+    fn on_timer(&mut self, _slot: usize, _now: SimTime) -> TimerFire {
+        TimerFire::default()
+    }
+
+    fn metrics(&self) -> WorkloadMetrics {
+        WorkloadMetrics::Spin {
+            work_items: self.work_items,
+            lock_hold_mean_ns: self.hold_ns.mean(),
+            lock_hold_max_ns: self.hold_ns.max().unwrap_or(0.0),
+            lock_wait_mean_ns: self.wait_ns.mean(),
+            spin_ns: self.spin_total_ns,
+        }
+    }
+
+    fn reset_metrics(&mut self) {
+        self.work_items = 0;
+        self.phases_done = 0;
+        self.hold_ns = OnlineStats::new();
+        self.wait_ns = OnlineStats::new();
+        self.spin_total_ns = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memwalk::MemWalk;
+    use aql_hv::{FixedQuantumPolicy, MachineSpec, SimulationBuilder, VmSpec};
+    use aql_mem::CacheSpec;
+    use aql_sim::time::{MS, SEC};
+
+    fn spin_metrics(report: &aql_hv::RunReport, name: &str) -> (u64, f64, f64) {
+        let WorkloadMetrics::Spin {
+            work_items,
+            lock_hold_mean_ns,
+            lock_hold_max_ns,
+            ..
+        } = report.vm_by_name(name).unwrap().metrics
+        else {
+            panic!("expected Spin metrics");
+        };
+        (work_items, lock_hold_mean_ns, lock_hold_max_ns)
+    }
+
+    #[test]
+    fn solo_job_completes_items_with_short_holds() {
+        let mut sim = SimulationBuilder::new(MachineSpec::custom(
+            "4core",
+            1,
+            4,
+            CacheSpec::i7_3770(),
+        ))
+        .vm(
+            VmSpec::smp("job", 4),
+            Box::new(SpinJob::new("job", SpinJobCfg::kernbench(4), 5)),
+        )
+        .build();
+        sim.run_for(2 * SEC);
+        let (items, hold, _) = spin_metrics(&sim.report(), "job");
+        assert!(items > 10_000, "uncontended job too slow: {items} items");
+        // Ownership durations include cross-vCPU handoff visibility,
+        // which the engine resolves at sub-step granularity (100 µs);
+        // without preemption they must stay well below any quantum.
+        assert!(
+            hold < 6.0 * 1000.0 + 2.0 * 100_000.0,
+            "solo hold time should stay at sub-step scale, got {hold}ns"
+        );
+    }
+
+    #[test]
+    fn solo_job_advances_phases() {
+        let mut sim = SimulationBuilder::new(MachineSpec::custom(
+            "2core",
+            1,
+            2,
+            CacheSpec::i7_3770(),
+        ))
+        .vm(
+            VmSpec::smp("job", 2),
+            Box::new(SpinJob::new("job", SpinJobCfg::kernbench(2), 5)),
+        )
+        .build();
+        sim.run_for(2 * SEC);
+        let report = sim.report();
+        let WorkloadMetrics::Spin { work_items, .. } = report.vm_by_name("job").unwrap().metrics
+        else {
+            panic!()
+        };
+        // With 60 ms phases, 2 s fits ~25-30 phases of ~1500 segments
+        // per thread.
+        assert!(work_items > 20_000, "barrier must not wedge: {work_items}");
+    }
+
+    #[test]
+    fn oversubscription_with_long_quanta_hurts_throughput() {
+        // Fig. 2(c): a ConSpin VM whose vCPUs share a pCPU with CPU
+        // hogs performs better with 1 ms quanta than with 90 ms ones —
+        // barrier stragglers and lock stalls scale with the quantum.
+        let run = |quantum: u64| {
+            let spec = CacheSpec::i7_3770();
+            let mut sim = SimulationBuilder::new(MachineSpec::custom(
+                "1core",
+                1,
+                1,
+                CacheSpec::i7_3770(),
+            ))
+            .policy(Box::new(FixedQuantumPolicy::new(quantum)))
+            .vm(
+                VmSpec {
+                    weight: 512,
+                    ..VmSpec::smp("job", 2)
+                },
+                Box::new(SpinJob::new("job", SpinJobCfg::kernbench(2), 5)),
+            )
+            .vm(VmSpec::single("h1"), Box::new(MemWalk::lolcf("h1", &spec)))
+            .vm(VmSpec::single("h2"), Box::new(MemWalk::lolcf("h2", &spec)))
+            .build();
+            sim.run_for(SEC);
+            sim.reset_measurements();
+            sim.run_for(6 * SEC);
+            spin_metrics(&sim.report(), "job")
+        };
+        let (items_short, _, _) = run(MS);
+        let (items_long, _, _) = run(90 * MS);
+        // Lock-hold maxima are sparse statistics at large quanta (a
+        // holder-preemption needs the slice boundary to land inside a
+        // critical section); the inset experiment measures them over
+        // longer runs. Here only the robust throughput direction is
+        // asserted.
+        assert!(
+            items_short as f64 > 1.2 * items_long as f64,
+            "short quanta should win for ConSpin: 1ms={items_short}, 90ms={items_long}"
+        );
+    }
+
+    #[test]
+    fn ple_exits_are_visible_to_vtrs() {
+        // Two highly-contended threads on one core: barrier and lock
+        // waits force spinning, which raises PLE traps.
+        let cfg = SpinJobCfg {
+            threads: 2,
+            work_ns: 5 * US,
+            cs_ns: 20 * US,
+            ..SpinJobCfg::kernbench(2)
+        };
+        let mut sim = SimulationBuilder::new(MachineSpec::custom(
+            "1core",
+            1,
+            1,
+            CacheSpec::i7_3770(),
+        ))
+        .vm(VmSpec::smp("job", 2), Box::new(SpinJob::new("job", cfg, 5)))
+        .build();
+        sim.run_for(SEC);
+        let report = sim.report();
+        let WorkloadMetrics::Spin { spin_ns, .. } = report.vm_by_name("job").unwrap().metrics
+        else {
+            panic!("expected Spin metrics");
+        };
+        assert!(
+            spin_ns > 25 * US,
+            "spin bursts should exceed the PLE window, got {spin_ns}"
+        );
+    }
+
+    #[test]
+    fn ple_sample_counts_exits_in_monitor_period() {
+        let cfg = SpinJobCfg {
+            threads: 2,
+            work_ns: 5 * US,
+            cs_ns: 20 * US,
+            ..SpinJobCfg::kernbench(2)
+        };
+        let mut sim = SimulationBuilder::new(MachineSpec::custom(
+            "1core",
+            1,
+            1,
+            CacheSpec::i7_3770(),
+        ))
+        .vm(VmSpec::smp("job", 2), Box::new(SpinJob::new("job", cfg, 5)))
+        .build();
+        let mut total_ple = 0u64;
+        for _ in 0..20 {
+            sim.run_for(30 * MS);
+            total_ple += sim
+                .hv
+                .vcpus
+                .iter()
+                .map(|v| v.last_sample.ple_exits)
+                .sum::<u64>();
+        }
+        assert!(total_ple > 0, "spinning must raise PLE exits over 600ms");
+    }
+
+    #[test]
+    fn barrier_disabled_when_phase_work_zero() {
+        let cfg = SpinJobCfg {
+            phase_work_ns: 0,
+            ..SpinJobCfg::kernbench(2)
+        };
+        let job = SpinJob::new("x", cfg, 1);
+        assert_eq!(job.phases_done(), 0);
+        // A zero-phase job never arrives at the barrier: threads start
+        // with an effectively infinite phase budget.
+        assert_eq!(job.threads[0].phase_left_ns, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = SpinJob::new(
+            "bad",
+            SpinJobCfg {
+                threads: 0,
+                ..SpinJobCfg::kernbench(1)
+            },
+            1,
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! A PARSEC batch night: parallel spin-synchronised jobs from the
+//! application catalog colocated with cache trashers on a 2-socket
+//! host. Shows how AQL_Sched clusters the vCPUs and what it buys.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example parsec_batch
+//! ```
+
+use aql_sched::baselines::xen_credit;
+use aql_sched::core::AqlSched;
+use aql_sched::hv::workload::WorkloadMetrics;
+use aql_sched::hv::{MachineSpec, RunReport, SchedPolicy, SimulationBuilder, VmSpec};
+use aql_sched::mem::CacheSpec;
+use aql_sched::sim::time::SEC;
+use aql_sched::workloads::{build_app_vm, MemWalk};
+
+const JOBS: [&str; 2] = ["fluidanimate", "streamcluster"];
+
+fn build(policy: Box<dyn SchedPolicy>) -> aql_sched::hv::Simulation {
+    let cache = CacheSpec::i7_3770();
+    let machine = MachineSpec::custom("batch", 2, 4, cache);
+    let mut b = SimulationBuilder::new(machine).seed(8).policy(policy);
+    for (i, job) in JOBS.iter().enumerate() {
+        let (mut spec, wl) = build_app_vm(job, &cache, 40 + i as u64).expect("catalog");
+        spec.weight = 256 * spec.vcpus as u32;
+        b = b.vm(spec, wl);
+    }
+    for i in 0..16 {
+        let name = format!("tenant-{i}");
+        let wl = match i % 2 {
+            0 => MemWalk::llcf(&name, &cache),
+            _ => MemWalk::llco(&name, &cache),
+        };
+        b = b.vm(VmSpec::single(&name), Box::new(wl));
+    }
+    let mut sim = b.build();
+    sim.run_for(SEC);
+    sim.reset_measurements();
+    sim.run_for(6 * SEC);
+    sim
+}
+
+fn job_items(report: &RunReport, name: &str) -> u64 {
+    let WorkloadMetrics::Spin { work_items, .. } = report.vm_by_name(name).unwrap().metrics
+    else {
+        panic!("expected Spin metrics");
+    };
+    work_items
+}
+
+fn main() {
+    println!("running under native Xen Credit...");
+    let xen = build(Box::new(xen_credit())).report();
+    println!("running under AQL_Sched...");
+    let aql_sim = build(Box::new(AqlSched::paper_defaults()));
+    let aql = aql_sim.report();
+
+    println!();
+    println!("{:<16} {:>14} {:>14} {:>8}", "job", "xen items", "aql items", "gain");
+    println!("{}", "-".repeat(56));
+    for job in JOBS {
+        let x = job_items(&xen, job);
+        let a = job_items(&aql, job);
+        println!(
+            "{job:<16} {x:>14} {a:>14} {:>7.2}x",
+            a as f64 / x as f64
+        );
+    }
+
+    // Show what AQL decided.
+    if let Some(policy) = aql_sim.policy().as_any().downcast_ref::<AqlSched>() {
+        if let Some(plan) = policy.last_plan() {
+            println!();
+            println!("clusters AQL settled on:");
+            for c in &plan.clusters {
+                println!(
+                    "  {:<10} {} quantum={} vcpus={} pcpus={}",
+                    c.label,
+                    c.socket,
+                    aql_sched::sim::time::fmt_dur(c.quantum_ns),
+                    c.vcpus.len(),
+                    c.pcpus.len()
+                );
+            }
+        }
+        println!("reclusterings: {}", policy.reclusterings());
+    }
+}

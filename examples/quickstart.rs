@@ -1,0 +1,105 @@
+//! Quickstart: one VM of each application type on a consolidated
+//! 4-core host, compared under native Xen Credit (fixed 30 ms quantum)
+//! and under AQL_Sched (adaptive per-type quanta).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aql_sched::baselines::xen_credit;
+use aql_sched::core::AqlSched;
+use aql_sched::hv::workload::WorkloadMetrics;
+use aql_sched::hv::{MachineSpec, RunReport, SchedPolicy, SimulationBuilder, VmSpec};
+use aql_sched::mem::CacheSpec;
+use aql_sched::sim::time::SEC;
+use aql_sched::workloads::{IoServer, IoServerCfg, MemWalk, SpinJob, SpinJobCfg};
+
+/// Builds the demo machine: 16 vCPUs on 4 cores — the 4-to-1
+/// consolidation the paper observes is typical in clouds.
+fn run(policy: Box<dyn SchedPolicy>) -> RunReport {
+    let cache = CacheSpec::i7_3770();
+    let machine = MachineSpec::custom("quickstart", 1, 4, cache);
+    let mut b = SimulationBuilder::new(machine).seed(1).policy(policy);
+    // A latency-critical web server that also runs CGI scripts.
+    for i in 0..4 {
+        let name = format!("web-{i}");
+        b = b.vm(
+            VmSpec::single(&name),
+            Box::new(IoServer::new(&name, IoServerCfg::heterogeneous(120.0), 10 + i)),
+        );
+    }
+    // A parallel, spin-synchronised job (PARSEC-like).
+    b = b.vm(
+        VmSpec {
+            weight: 1024,
+            ..VmSpec::smp("parsec", 4)
+        },
+        Box::new(SpinJob::new("parsec", SpinJobCfg::kernbench(4), 20)),
+    );
+    // Cache-sensitive and cache-trashing batch work.
+    for i in 0..4 {
+        let name = format!("llcf-{i}");
+        b = b.vm(VmSpec::single(&name), Box::new(MemWalk::llcf(&name, &cache)));
+    }
+    for i in 0..2 {
+        let name = format!("llco-{i}");
+        b = b.vm(VmSpec::single(&name), Box::new(MemWalk::llco(&name, &cache)));
+    }
+    for i in 0..2 {
+        let name = format!("lolcf-{i}");
+        b = b.vm(VmSpec::single(&name), Box::new(MemWalk::lolcf(&name, &cache)));
+    }
+    let mut sim = b.build();
+    sim.run_for(SEC); // warm-up
+    sim.reset_measurements();
+    sim.run_for(6 * SEC);
+    sim.report()
+}
+
+fn main() {
+    println!("running under native Xen Credit (30 ms quantum)...");
+    let xen = run(Box::new(xen_credit()));
+    println!("running under AQL_Sched (adaptive quanta)...");
+    let aql = run(Box::new(AqlSched::paper_defaults()));
+
+    println!();
+    println!(
+        "{:<10} {:>22} {:>22} {:>9}",
+        "VM", "xen-credit", "aql-sched", "gain"
+    );
+    println!("{}", "-".repeat(68));
+    for vm in &xen.vms {
+        let a = aql.vm_by_name(&vm.name).expect("same population");
+        let (xv, av, unit) = match (&vm.metrics, &a.metrics) {
+            (
+                WorkloadMetrics::Io { latency: lx, .. },
+                WorkloadMetrics::Io { latency: la, .. },
+            ) => (lx.mean_ns / 1e6, la.mean_ns / 1e6, "ms latency"),
+            (
+                WorkloadMetrics::Spin { work_items: ix, .. },
+                WorkloadMetrics::Spin { work_items: ia, .. },
+            ) => (*ix as f64, *ia as f64, "items"),
+            (
+                WorkloadMetrics::Mem { instructions: nx },
+                WorkloadMetrics::Mem { instructions: na },
+            ) => (*nx / 1e9, *na / 1e9, "G instr"),
+            _ => continue,
+        };
+        // For latency lower is better; for throughput higher is better.
+        let gain = if unit == "ms latency" { xv / av } else { av / xv };
+        println!(
+            "{:<10} {:>15.2} {:<6} {:>15.2} {:<6} {:>8.2}x",
+            vm.name, xv, unit, av, unit, gain
+        );
+    }
+    println!();
+    println!(
+        "fairness (Jain): xen={:.3} aql={:.3}; utilisation: xen={:.3} aql={:.3}",
+        xen.jain_fairness(),
+        aql.jain_fairness(),
+        xen.utilisation(),
+        aql.utilisation()
+    );
+}

@@ -1,0 +1,69 @@
+//! Watch the vCPU Type Recognition System live: a workload that
+//! changes its class every two seconds, with the recognised type and
+//! cursor averages printed every monitoring window.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example vtrs_live
+//! ```
+
+use aql_sched::core::{AqlSched, AqlSchedConfig};
+use aql_sched::hv::{MachineSpec, SimulationBuilder, VmSpec};
+use aql_sched::mem::{CacheSpec, MemProfile};
+use aql_sched::sim::time::{MS, SEC};
+use aql_sched::workloads::phased::Phase;
+use aql_sched::workloads::PhasedMemWalk;
+
+fn main() {
+    let cache = CacheSpec::i7_3770();
+    let machine = MachineSpec::custom("live", 1, 1, cache);
+    let shape_shifter = PhasedMemWalk::new(
+        "shape-shifter",
+        vec![
+            Phase {
+                duration_ns: 2 * SEC,
+                profile: MemProfile::lolcf(&cache),
+            },
+            Phase {
+                duration_ns: 2 * SEC,
+                profile: MemProfile::llcf(&cache),
+            },
+            Phase {
+                duration_ns: 2 * SEC,
+                profile: MemProfile::llco(&cache),
+            },
+        ],
+    );
+    let mut sim = SimulationBuilder::new(machine)
+        .policy(Box::new(AqlSched::new(AqlSchedConfig::default())))
+        .vm(VmSpec::single("shape-shifter"), Box::new(shape_shifter))
+        .build();
+
+    println!(
+        "{:>8}  {:>7} {:>8} {:>6} {:>6} {:>6}  {}",
+        "time", "IOInt", "ConSpin", "LLCF", "LoLCF", "LLCO", "recognised type"
+    );
+    println!("{}", "-".repeat(66));
+    // Step through monitoring windows and print the decision evolution.
+    for step in 1..=50 {
+        sim.run_for(120 * MS); // one full vTRS window (n = 4 periods)
+        let policy = sim
+            .policy()
+            .as_any()
+            .downcast_ref::<AqlSched>()
+            .expect("AqlSched");
+        let vtrs = policy.vtrs().expect("running");
+        let avg = vtrs.averages_of(0);
+        println!(
+            "{:>7.1}s  {:>7.1} {:>8.1} {:>6.1} {:>6.1} {:>6.1}  {}",
+            (step as f64) * 0.12,
+            avg.ioint,
+            avg.conspin,
+            avg.llcf,
+            avg.lolcf,
+            avg.llco,
+            vtrs.type_of(0)
+        );
+    }
+}

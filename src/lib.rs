@@ -1,0 +1,30 @@
+//! # aql-sched — umbrella crate
+//!
+//! Reproduction of *"Application-specific quantum for multi-core platform
+//! scheduler"* (Teabe, Tchana, Hagimont — EuroSys 2016).
+//!
+//! This crate re-exports the whole workspace behind one dependency so
+//! examples and downstream users can write `use aql_sched::...`:
+//!
+//! * [`sim`] — deterministic discrete-event engine.
+//! * [`mem`] — cache hierarchy and PMU model.
+//! * [`hv`] — simulated hypervisor (machine, VMs, Credit scheduler,
+//!   CPU pools, event channels, spin-locks).
+//! * [`workloads`] — synthetic guest applications and the named
+//!   SPEC/PARSEC catalog.
+//! * [`core`] — the paper's contribution: vTRS, quantum calibration,
+//!   two-level clustering, and the AQL_Sched policy.
+//! * [`baselines`] — Xen Credit, Microsliced, vSlicer and vTurbo
+//!   comparator policies.
+//! * [`experiments`] — scenario builders and the figure/table harness.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for
+//! the full system inventory.
+
+pub use aql_baselines as baselines;
+pub use aql_core as core;
+pub use aql_experiments as experiments;
+pub use aql_hv as hv;
+pub use aql_mem as mem;
+pub use aql_sim as sim;
+pub use aql_workloads as workloads;

@@ -1,0 +1,133 @@
+//! Property-based integration tests of the two-level clustering over
+//! arbitrary vCPU populations and machine shapes.
+
+use aql_sched::core::clustering::{cluster_machine, VcpuDesc};
+use aql_sched::core::QuantumTable;
+use aql_sched::hv::apptype::VcpuType;
+use aql_sched::hv::ids::{SocketId, VcpuId, VmId};
+use aql_sched::hv::pool::build_pools;
+use aql_sched::hv::MachineSpec;
+use aql_sched::mem::CacheSpec;
+use proptest::prelude::*;
+
+fn arb_type() -> impl Strategy<Value = VcpuType> {
+    prop_oneof![
+        Just(VcpuType::IoInt),
+        Just(VcpuType::ConSpin),
+        Just(VcpuType::Llcf),
+        Just(VcpuType::Lolcf),
+        Just(VcpuType::Llco),
+    ]
+}
+
+fn arb_population(max: usize) -> impl Strategy<Value = Vec<(VcpuType, bool)>> {
+    prop::collection::vec((arb_type(), any::<bool>()), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any population and machine shape: the plan's pools partition
+    /// the machine, every vCPU is assigned exactly once, every vCPU's
+    /// pool has pCPUs on one socket, and per-pool fairness (at most
+    /// ceil(vcpus/pcpus) of the busiest socket) holds.
+    #[test]
+    fn cluster_plans_are_well_formed(
+        pop in arb_population(64),
+        sockets in 1usize..5,
+        cores in 1usize..5,
+    ) {
+        let machine = MachineSpec::custom("prop", sockets, cores, CacheSpec::i7_3770());
+        let usable: Vec<SocketId> = (0..sockets).map(SocketId).collect();
+        let descs: Vec<VcpuDesc> = pop
+            .iter()
+            .enumerate()
+            .map(|(i, (t, trash))| VcpuDesc {
+                vcpu: VcpuId(i),
+                vm: VmId(i / 2), // VMs of up to two vCPUs
+                vtype: *t,
+                // Only LLCO is unconditionally trashing; IO/spin types
+                // trash when flagged.
+                trashing: *t == VcpuType::Llco
+                    || (*trash && matches!(t, VcpuType::IoInt | VcpuType::ConSpin)),
+            })
+            .collect();
+        let table = QuantumTable::paper_defaults();
+        let plan = cluster_machine(&machine, &usable, &descs, &table);
+
+        // Pools must be a valid machine partition.
+        let pools = build_pools(&plan.pools, machine.total_pcpus());
+        prop_assert!(pools.is_ok(), "invalid pools: {:?}", pools.err());
+
+        // Every vCPU assigned to an existing pool.
+        prop_assert_eq!(plan.assignment.len(), descs.len());
+        for p in &plan.assignment {
+            prop_assert!(p.index() < plan.pools.len());
+        }
+
+        // Clusters conserve vCPUs: each vCPU in exactly one cluster.
+        let mut seen = vec![0usize; descs.len()];
+        for c in &plan.clusters {
+            for v in &c.vcpus {
+                seen[v.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1), "vcpu lost or duplicated: {seen:?}");
+
+        // Each cluster's pCPUs live on its socket.
+        for c in &plan.clusters {
+            for p in &c.pcpus {
+                prop_assert_eq!(machine.socket_of(*p), c.socket);
+            }
+            prop_assert!(!c.pcpus.is_empty(), "cluster without pCPUs");
+            // Fairness: no cluster packs more than ceil-per-pcpu of its
+            // socket load.
+            let k = c.vcpus.len().div_ceil(c.pcpus.len());
+            let machine_k = descs.len().div_ceil(machine.total_pcpus()).max(1);
+            prop_assert!(
+                k <= machine_k + 1,
+                "cluster {} overloaded: {} vcpus on {} pcpus (machine k={})",
+                c.label, c.vcpus.len(), c.pcpus.len(), machine_k
+            );
+        }
+
+        // Non-default clusters use the calibrated quantum of their
+        // members' types (agnostic fillers aside).
+        for c in &plan.clusters {
+            if c.is_default {
+                prop_assert_eq!(c.quantum_ns, table.default_quantum_ns);
+            } else {
+                let qs: Vec<u64> = table.distinct_quanta();
+                prop_assert!(
+                    qs.contains(&c.quantum_ns),
+                    "non-default cluster with uncalibrated quantum {}",
+                    c.quantum_ns
+                );
+            }
+        }
+    }
+
+    /// Determinism: the same inputs always produce the same plan.
+    #[test]
+    fn clustering_is_deterministic(
+        pop in arb_population(48),
+        sockets in 1usize..4,
+    ) {
+        let machine = MachineSpec::custom("det", sockets, 4, CacheSpec::i7_3770());
+        let usable: Vec<SocketId> = (0..sockets).map(SocketId).collect();
+        let descs: Vec<VcpuDesc> = pop
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| VcpuDesc {
+                vcpu: VcpuId(i),
+                vm: VmId(i),
+                vtype: *t,
+                trashing: *t == VcpuType::Llco,
+            })
+            .collect();
+        let table = QuantumTable::paper_defaults();
+        let a = cluster_machine(&machine, &usable, &descs, &table);
+        let b = cluster_machine(&machine, &usable, &descs, &table);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based integration tests of the simulation engine over
+//! random VM populations: conservation, fairness bounds and
+//! reproducibility must hold for every population and policy.
+
+use aql_sched::baselines::xen_credit;
+use aql_sched::core::AqlSched;
+use aql_sched::hv::workload::GuestWorkload;
+use aql_sched::hv::{MachineSpec, SchedPolicy, SimulationBuilder, VmSpec};
+use aql_sched::mem::CacheSpec;
+use aql_sched::sim::time::{MS, SEC};
+use aql_sched::workloads::{IoServer, IoServerCfg, MemWalk, SpinJob, SpinJobCfg};
+use proptest::prelude::*;
+
+/// Workload kinds the generator can draw.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Io,
+    Het,
+    Spin,
+    Llcf,
+    Lolcf,
+    Llco,
+}
+
+fn arb_kind() -> impl Strategy<Value = Kind> {
+    prop_oneof![
+        Just(Kind::Io),
+        Just(Kind::Het),
+        Just(Kind::Spin),
+        Just(Kind::Llcf),
+        Just(Kind::Lolcf),
+        Just(Kind::Llco),
+    ]
+}
+
+fn build_vm(kind: Kind, i: usize, cache: &CacheSpec) -> (VmSpec, Box<dyn GuestWorkload>) {
+    let name = format!("vm-{i}");
+    match kind {
+        Kind::Io => (
+            VmSpec::single(&name),
+            Box::new(IoServer::new(&name, IoServerCfg::exclusive(120.0), i as u64)),
+        ),
+        Kind::Het => (
+            VmSpec::single(&name),
+            Box::new(IoServer::new(
+                &name,
+                IoServerCfg::heterogeneous(100.0),
+                i as u64,
+            )),
+        ),
+        Kind::Spin => (
+            VmSpec {
+                weight: 512,
+                ..VmSpec::smp(&name, 2)
+            },
+            Box::new(SpinJob::new(&name, SpinJobCfg::kernbench(2), i as u64)),
+        ),
+        Kind::Llcf => (
+            VmSpec::single(&name),
+            Box::new(MemWalk::llcf(&name, cache)),
+        ),
+        Kind::Lolcf => (
+            VmSpec::single(&name),
+            Box::new(MemWalk::lolcf(&name, cache)),
+        ),
+        Kind::Llco => (
+            VmSpec::single(&name),
+            Box::new(MemWalk::llco(&name, cache)),
+        ),
+    }
+}
+
+fn run_population(
+    kinds: &[Kind],
+    cores: usize,
+    seed: u64,
+    policy: Box<dyn SchedPolicy>,
+) -> aql_sched::hv::RunReport {
+    let cache = CacheSpec::i7_3770();
+    let machine = MachineSpec::custom("prop", 1, cores, cache);
+    let mut b = SimulationBuilder::new(machine).seed(seed).policy(policy);
+    for (i, k) in kinds.iter().enumerate() {
+        let (spec, wl) = build_vm(*k, i, &cache);
+        b = b.vm(spec, wl);
+    }
+    let mut sim = b.build();
+    sim.run_for(300 * MS);
+    sim.reset_measurements();
+    sim.run_for(SEC);
+    sim.report()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// CPU time is conserved and bounded: the sum of per-vCPU CPU time
+    /// equals the sum of per-pCPU busy time, and neither exceeds the
+    /// machine's capacity over the measured window.
+    #[test]
+    fn cpu_time_is_conserved(
+        kinds in prop::collection::vec(arb_kind(), 1..10),
+        cores in 1usize..4,
+        seed in 1u64..1000,
+    ) {
+        let report = run_population(&kinds, cores, seed, Box::new(xen_credit()));
+        let vcpu_total: u64 = report.vms.iter().map(|v| v.cpu_ns()).sum();
+        let pcpu_total: u64 = report.pcpu_busy_ns.iter().sum();
+        prop_assert_eq!(vcpu_total, pcpu_total, "vCPU and pCPU accounting disagree");
+        let capacity = report.sim_ns * cores as u64;
+        prop_assert!(pcpu_total <= capacity, "busy time exceeds capacity");
+        prop_assert!(report.utilisation() <= 1.0 + 1e-9);
+    }
+
+    /// The adaptive policy never breaks accounting either, and no VM
+    /// is starved outright on a saturated machine of CPU-hungry VMs.
+    #[test]
+    fn aql_conserves_and_does_not_starve(
+        kinds in prop::collection::vec(arb_kind(), 2..8),
+        seed in 1u64..500,
+    ) {
+        let report = run_population(&kinds, 2, seed, Box::new(AqlSched::paper_defaults()));
+        let vcpu_total: u64 = report.vms.iter().map(|v| v.cpu_ns()).sum();
+        let pcpu_total: u64 = report.pcpu_busy_ns.iter().sum();
+        prop_assert_eq!(vcpu_total, pcpu_total);
+        // Every always-runnable (CPU-burn or spin) VM must have run.
+        for (i, k) in kinds.iter().enumerate() {
+            if matches!(k, Kind::Llcf | Kind::Lolcf | Kind::Llco | Kind::Spin | Kind::Het) {
+                let vm = &report.vms[i];
+                prop_assert!(
+                    vm.cpu_ns() > 0,
+                    "vm-{i} ({k:?}) starved under AQL"
+                );
+            }
+        }
+    }
+
+    /// Bit-for-bit determinism holds for arbitrary populations under
+    /// both a fixed policy and the adaptive one.
+    #[test]
+    fn runs_are_reproducible(
+        kinds in prop::collection::vec(arb_kind(), 1..6),
+        seed in 1u64..200,
+    ) {
+        let a = run_population(&kinds, 2, seed, Box::new(xen_credit()));
+        let b = run_population(&kinds, 2, seed, Box::new(xen_credit()));
+        prop_assert_eq!(a.total_cpu_ns(), b.total_cpu_ns());
+        prop_assert_eq!(&a.pcpu_busy_ns, &b.pcpu_busy_ns);
+        let c = run_population(&kinds, 2, seed, Box::new(AqlSched::paper_defaults()));
+        let d = run_population(&kinds, 2, seed, Box::new(AqlSched::paper_defaults()));
+        prop_assert_eq!(c.total_cpu_ns(), d.total_cpu_ns());
+        prop_assert_eq!(&c.pcpu_busy_ns, &d.pcpu_busy_ns);
+    }
+}

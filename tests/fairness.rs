@@ -1,0 +1,136 @@
+//! Fairness integration tests: §3.5 requires clustering to respect the
+//! cloud scheduler's fairness ("each VM should receive its booked CPU
+//! resources"), and §2.1 requires weights and caps to bind.
+
+use aql_sched::baselines::xen_credit;
+use aql_sched::core::AqlSched;
+use aql_sched::hv::{MachineSpec, SimulationBuilder, VmSpec};
+use aql_sched::mem::CacheSpec;
+use aql_sched::sim::time::SEC;
+use aql_sched::workloads::MemWalk;
+
+fn machine(cores: usize) -> MachineSpec {
+    MachineSpec::custom("fair", 1, cores, CacheSpec::i7_3770())
+}
+
+/// Equal-weight CPU hogs split the machine evenly under both Xen and
+/// AQL (Jain index near 1).
+#[test]
+fn equal_weights_share_equally() {
+    for policy in [
+        Box::new(xen_credit()) as Box<dyn aql_sched::hv::SchedPolicy>,
+        Box::new(AqlSched::paper_defaults()),
+    ] {
+        let spec = CacheSpec::i7_3770();
+        let mut b = SimulationBuilder::new(machine(2)).policy(policy);
+        for i in 0..8 {
+            let name = format!("hog-{i}");
+            // A mix of cache classes so AQL actually forms clusters.
+            let wl = match i % 3 {
+                0 => MemWalk::lolcf(&name, &spec),
+                1 => MemWalk::llcf(&name, &spec),
+                _ => MemWalk::llco(&name, &spec),
+            };
+            b = b.vm(VmSpec::single(&name), Box::new(wl));
+        }
+        let mut sim = b.build();
+        sim.run_for(SEC);
+        sim.reset_measurements();
+        sim.run_for(6 * SEC);
+        let report = sim.report();
+        let jain = report.jain_fairness();
+        assert!(
+            jain > 0.93,
+            "policy {} unfair: jain={jain}",
+            report.policy
+        );
+        // Work conserving: the machine stays essentially saturated.
+        assert!(report.utilisation() > 0.98, "machine left idle");
+    }
+}
+
+/// Weights bind: a double-weight VM gets about twice the CPU.
+#[test]
+fn weights_are_proportional() {
+    let spec = CacheSpec::i7_3770();
+    let mut sim = SimulationBuilder::new(machine(1))
+        .vm(
+            VmSpec {
+                weight: 512,
+                ..VmSpec::single("heavy")
+            },
+            Box::new(MemWalk::lolcf("heavy", &spec)),
+        )
+        .vm(VmSpec::single("light"), Box::new(MemWalk::lolcf("light", &spec)))
+        .build();
+    sim.run_for(SEC);
+    sim.reset_measurements();
+    sim.run_for(6 * SEC);
+    let report = sim.report();
+    let heavy = report.vm_by_name("heavy").unwrap().cpu_ns() as f64;
+    let light = report.vm_by_name("light").unwrap().cpu_ns() as f64;
+    let ratio = heavy / light;
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "2:1 weights should give ~2:1 CPU, got {ratio}"
+    );
+}
+
+/// Caps bind: a capped VM cannot exceed its budget even on an idle
+/// machine.
+#[test]
+fn caps_limit_consumption() {
+    let spec = CacheSpec::i7_3770();
+    let mut sim = SimulationBuilder::new(machine(1))
+        .vm(
+            VmSpec {
+                cap_pct: Some(25),
+                ..VmSpec::single("capped")
+            },
+            Box::new(MemWalk::lolcf("capped", &spec)),
+        )
+        .build();
+    sim.run_for(SEC);
+    sim.reset_measurements();
+    sim.run_for(6 * SEC);
+    let report = sim.report();
+    let share = report.vm_by_name("capped").unwrap().cpu_ns() as f64 / (6.0 * SEC as f64);
+    assert!(
+        share < 0.35,
+        "a 25% cap must bind (some slack allowed), got {share}"
+    );
+}
+
+/// AQL's pool-based clustering must not skew CPU shares relative to
+/// native Xen by more than a small tolerance.
+#[test]
+fn aql_preserves_vm_shares() {
+    let build = |policy: Box<dyn aql_sched::hv::SchedPolicy>| {
+        let spec = CacheSpec::i7_3770();
+        let mut b = SimulationBuilder::new(machine(4)).policy(policy);
+        for i in 0..8 {
+            let name = format!("llcf-{i}");
+            b = b.vm(VmSpec::single(&name), Box::new(MemWalk::llcf(&name, &spec)));
+        }
+        for i in 0..8 {
+            let name = format!("llco-{i}");
+            b = b.vm(VmSpec::single(&name), Box::new(MemWalk::llco(&name, &spec)));
+        }
+        let mut sim = b.build();
+        sim.run_for(SEC);
+        sim.reset_measurements();
+        sim.run_for(6 * SEC);
+        sim.report()
+    };
+    let xen = build(Box::new(xen_credit()));
+    let aql = build(Box::new(AqlSched::paper_defaults()));
+    for i in 0..16 {
+        let name = xen.vms[i].name.clone();
+        let sx = xen.vm_cpu_share(&name).unwrap();
+        let sa = aql.vm_cpu_share(&name).unwrap();
+        assert!(
+            (sx - sa).abs() < 0.03,
+            "{name}: share moved from {sx:.3} to {sa:.3}"
+        );
+    }
+}
