@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, release build, full test suite.
+#
+# Run from the repository root:  ./ci.sh
+# Any failure aborts with a non-zero exit code.
+set -euo pipefail
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q --workspace
+
+step "all checks passed"

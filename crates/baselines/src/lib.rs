@@ -224,8 +224,7 @@ mod tests {
     }
 
     fn mean_latency_ms(report: &aql_hv::RunReport, name: &str) -> f64 {
-        let WorkloadMetrics::Io { latency, .. } = &report.vm_by_name(name).unwrap().metrics
-        else {
+        let WorkloadMetrics::Io { latency, .. } = &report.vm_by_name(name).unwrap().metrics else {
             panic!("expected Io metrics");
         };
         latency.mean_ns / 1e6
@@ -286,10 +285,7 @@ mod tests {
         let lv = mean_latency_ms(&vt, "web");
         // With a dedicated turbo core the IO VM no longer queues behind
         // batch VMs at all: latency is near service time.
-        assert!(
-            lv < 1.0,
-            "vTurbo should give near-solo latency, got {lv}ms"
-        );
+        assert!(lv < 1.0, "vTurbo should give near-solo latency, got {lv}ms");
     }
 
     #[test]

@@ -14,18 +14,12 @@ fn bench_fig5(c: &mut Criterion) {
     group.sample_size(10);
     for app in ["SPECweb2009", "bzip2", "hmmer", "mcf"] {
         for q in [MS, 90 * MS] {
-            group.bench_function(
-                format!("{app}_{}", aql_sim::time::fmt_dur(q)),
-                |b| {
-                    b.iter(|| {
-                        let r = run_quick(
-                            catalog_scenario(app),
-                            Box::new(FixedQuantumPolicy::new(q)),
-                        );
-                        black_box(r.total_cpu_ns())
-                    })
-                },
-            );
+            group.bench_function(format!("{app}_{}", aql_sim::time::fmt_dur(q)), |b| {
+                b.iter(|| {
+                    let r = run_quick(catalog_scenario(app), Box::new(FixedQuantumPolicy::new(q)));
+                    black_box(r.total_cpu_ns())
+                })
+            });
         }
     }
     group.finish();

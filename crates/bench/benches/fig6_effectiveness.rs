@@ -17,9 +17,7 @@ fn bench_fig6(c: &mut Criterion) {
     });
     group.bench_function("s5_aql", |b| {
         b.iter(|| {
-            black_box(
-                run_quick(scenario(5), Box::new(AqlSched::paper_defaults())).total_cpu_ns(),
-            )
+            black_box(run_quick(scenario(5), Box::new(AqlSched::paper_defaults())).total_cpu_ns())
         })
     });
     group.bench_function("fig3_xen_restricted", |b| {

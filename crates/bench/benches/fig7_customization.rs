@@ -24,9 +24,7 @@ fn bench_fig7(c: &mut Criterion) {
     });
     for (q, label) in [(MS, "small"), (30 * MS, "medium"), (90 * MS, "large")] {
         group.bench_function(format!("clustering_only_{label}"), |b| {
-            b.iter(|| {
-                black_box(run_quick(fig3_scenario(), Box::new(aql(Some(q)))).total_cpu_ns())
-            })
+            b.iter(|| black_box(run_quick(fig3_scenario(), Box::new(aql(Some(q)))).total_cpu_ns()))
         });
     }
     group.finish();

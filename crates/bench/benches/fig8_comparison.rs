@@ -10,20 +10,27 @@ use aql_hv::SchedPolicy;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+type PolicyCtor = Box<dyn Fn() -> Box<dyn SchedPolicy>>;
+
 fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_comparison");
     group.sample_size(10);
     let io_names = s5_io_vms();
-    let io_refs: Vec<&str> = io_names.iter().map(|s| s.as_str()).collect();
-    let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn SchedPolicy>>)> = vec![
+    let policies: Vec<(&str, PolicyCtor)> = vec![
         ("vturbo", {
-            let io = io_refs.clone();
-            Box::new(move || Box::new(VTurbo::new(&io)))
+            let io = io_names.clone();
+            Box::new(move || {
+                let refs: Vec<&str> = io.iter().map(|s| s.as_str()).collect();
+                Box::new(VTurbo::new(&refs))
+            })
         }),
         ("microsliced", Box::new(|| Box::new(Microsliced::default()))),
         ("vslicer", {
-            let io = io_refs.clone();
-            Box::new(move || Box::new(VSlicer::new(&io)))
+            let io = io_names.clone();
+            Box::new(move || {
+                let refs: Vec<&str> = io.iter().map(|s| s.as_str()).collect();
+                Box::new(VSlicer::new(&refs))
+            })
         }),
         ("aql", Box::new(|| Box::new(AqlSched::paper_defaults()))),
     ];

@@ -57,12 +57,8 @@ fn bench_overhead(c: &mut Criterion) {
             // Scale the machine with the population (the paper's
             // O(max(m, n)) claim).
             let sockets_n = (n / 16).max(1) + 1;
-            let machine = MachineSpec::custom(
-                "bench",
-                sockets_n,
-                4,
-                aql_mem::CacheSpec::xeon_e5_4603().into(),
-            );
+            let machine =
+                MachineSpec::custom("bench", sockets_n, 4, aql_mem::CacheSpec::xeon_e5_4603());
             let usable: Vec<SocketId> = (1..sockets_n).map(SocketId).collect();
             let usable = if usable.is_empty() {
                 vec![SocketId(0)]

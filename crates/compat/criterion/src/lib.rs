@@ -1,0 +1,157 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the API the bench targets use (see
+//! `crates/compat/README.md`): [`Criterion`], benchmark groups,
+//! `bench_function`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and prints min/median/mean
+//! per-iteration wall-clock to stdout. There is no statistical
+//! analysis, plotting or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(600);
+/// Warm-up budget before measuring.
+const WARMUP_BUDGET: Duration = Duration::from_millis(150);
+
+/// Runs closures under measurement inside `bench_function`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, calling it enough times per sample to fill the
+    /// measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let per_iter = WARMUP_BUDGET.div_f64(iters.max(1) as f64);
+        let per_sample = MEASURE_BUDGET.div_f64(self.sample_size.max(1) as f64);
+        let iters_per_sample = (per_sample.as_secs_f64() / per_iter.as_secs_f64().max(1e-9))
+            .ceil()
+            .max(1.0) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().div_f64(iters_per_sample as f64));
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<Duration>().div_f64(sorted.len() as f64);
+        println!(
+            "{id:<40} min {:>12?}  median {:>12?}  mean {:>12?}",
+            min, median, mean
+        );
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&id);
+        self
+    }
+
+    /// Ends the group (reporting is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.clone());
+        g.bench_function("", f);
+        g.finish();
+        self
+    }
+}
+
+/// Re-export for code importing `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, as real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,403 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the API this workspace's property tests use
+//! (see `crates/compat/README.md`): the [`Strategy`] trait with
+//! implementations for numeric ranges, tuples, [`Just`], [`any`] and
+//! `prop::collection::vec`; the [`proptest!`], [`prop_oneof!`],
+//! [`prop_assert!`] and [`prop_assert_eq!`] macros; and
+//! [`ProptestConfig`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * Sampling is deterministic: the RNG is seeded from the test's
+//!   name, so failures reproduce without a persistence file.
+//! * There is no shrinking. A failing case panics immediately with the
+//!   sampled inputs printed by the `proptest!` harness.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The random source handed to strategies; wraps the shimmed
+/// [`StdRng`].
+#[derive(Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from an arbitrary label (the test name).
+    /// The seed is FNV-1a over the label bytes — a fixed algorithm,
+    /// so the sampled stream is stable across toolchains (std's
+    /// `DefaultHasher` gives no such guarantee) and failures
+    /// reproduce anywhere.
+    pub fn from_label(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h | 1),
+        }
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty domain");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random()
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: Strategy + ?Sized> Strategy for Box<T> {
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<T: Strategy + ?Sized> Strategy for &T {
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Boxes a strategy as a trait object (used by [`prop_oneof!`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// A strategy always yielding clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $sample:expr),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty strategy range");
+                #[allow(clippy::redundant_closure_call)]
+                ($sample)(rng, self.start, self.end)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy! {
+    u64 => |rng: &mut TestRng, lo: u64, hi: u64| {
+        lo + (((rng.next_u64() as u128) * ((hi - lo) as u128)) >> 64) as u64
+    },
+    u32 => |rng: &mut TestRng, lo: u32, hi: u32| {
+        lo + (((rng.next_u64() as u128) * ((hi - lo) as u128)) >> 64) as u32
+    },
+    usize => |rng: &mut TestRng, lo: usize, hi: usize| lo + rng.index(hi - lo),
+    i64 => |rng: &mut TestRng, lo: i64, hi: i64| {
+        lo + (((rng.next_u64() as u128) * ((hi - lo) as u128)) >> 64) as i64
+    },
+    f64 => |rng: &mut TestRng, lo: f64, hi: f64| lo + rng.unit() * (hi - lo),
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of `T` (only types with [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A uniform choice among boxed strategies ([`prop_oneof!`]).
+pub struct Union<T: Debug> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds the union; at least one arm is required.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// A strategy for vectors with lengths drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(self.sizes.end > self.sizes.start, "empty size range");
+            let n = self.sizes.start + rng.index(self.sizes.end - self.sizes.start);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values, length in `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+}
+
+/// Namespace mirror of real proptest's `prop::` re-exports.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Harness configuration (`cases` is the only knob the shim honours).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The commonly used names, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        $crate::Union::new(vec![$($crate::boxed($arm)),+])
+    }};
+}
+
+/// Asserts a condition inside a property (panics on failure, printing
+/// the sampled inputs via the harness).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` sampled executions. On failure
+/// the panic message carries the case number and sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@harness $cfg; $($rest)*);
+    };
+    (@harness $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_label(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let inputs = format!(
+                        concat!("case {}/{}:", $(concat!(" ", stringify!($arg), "={:?}"),)*),
+                        case + 1, cfg.cases, $(&$arg),*
+                    );
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(panic) = result {
+                        eprintln!("proptest {} failed at {}", stringify!($name), inputs);
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@harness $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_label("ranges");
+        for _ in 0..500 {
+            let v = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.5f64..2.0).sample(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let s = prop_oneof![Just(1u32), Just(2), Just(3)];
+        let mut rng = crate::TestRng::from_label("union");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(s.sample(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn vec_strategy_honours_sizes() {
+        let s = prop::collection::vec(0u64..10, 2..5);
+        let mut rng = crate::TestRng::from_label("vec");
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn harness_runs_and_samples(x in 1u64..100, flip in any::<bool>()) {
+            prop_assert!((1..100).contains(&x));
+            let _ = flip;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn harness_default_config(v in prop::collection::vec(0usize..4, 1..8)) {
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

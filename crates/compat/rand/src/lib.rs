@@ -1,0 +1,175 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset of the `rand` API this workspace uses (see
+//! `crates/compat/README.md`): a seedable [`rngs::StdRng`] and the
+//! [`RngExt`] extension methods `random` / `random_range`. The
+//! generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than crates.io `rand`, but every consumer in the workspace
+//! goes through `aql_sim::rng::SimRng`, which only requires
+//! determinism, not a particular stream.
+
+/// Random number generators.
+pub mod rngs {
+    /// A deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_seed_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the full
+            // 256-bit state, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_seed_u64(seed)
+    }
+}
+
+/// Types samplable uniformly from a generator (the `Standard`
+/// distribution of real `rand`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types usable as `random_range` bounds.
+pub trait RangeSample: Copy + PartialOrd {
+    /// Uniform draw in `[lo, hi)`.
+    fn draw_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn draw_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                assert!(hi > lo, "empty range");
+                let span = (hi - lo) as u128;
+                // Multiply-shift rejection-free mapping (Lemire); the
+                // tiny modulo bias over a u64 draw is irrelevant for
+                // simulation purposes.
+                let draw = rng.next_u64() as u128;
+                lo + ((draw * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_uint!(u64, u32, usize);
+
+impl RangeSample for f64 {
+    fn draw_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+        assert!(hi > lo, "empty range");
+        lo + f64::draw(rng) * (hi - lo)
+    }
+}
+
+/// Extension methods mirroring `rand::Rng` / `rand::RngExt`.
+pub trait RngExt {
+    /// Uniform draw of a `Standard`-samplable type.
+    fn random<T: Standard>(&mut self) -> T;
+    /// Uniform draw in `[range.start, range.end)`.
+    fn random_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn random_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        T::draw_range(self, range.start, range.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = r.random_range(10u64..20);
+            assert!((10..20).contains(&x));
+        }
+    }
+}

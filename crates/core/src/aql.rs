@@ -75,6 +75,9 @@ pub struct AqlSched {
     last_plan: Option<ClusterPlan>,
     history: Vec<Vec<Cursors>>,
     reclusterings: u64,
+    /// Reusable per-monitoring-period sample buffer (the monitor path
+    /// runs every 30 ms and must not allocate).
+    samples: Vec<PmuSample>,
 }
 
 impl AqlSched {
@@ -89,6 +92,7 @@ impl AqlSched {
             last_plan: None,
             history: Vec::new(),
             reclusterings: 0,
+            samples: Vec::new(),
         }
     }
 
@@ -143,7 +147,10 @@ impl SchedPolicy for AqlSched {
             .collect();
         let assignment = vec![aql_hv::ids::PoolId(0); hv.vcpus.len()];
         hv.apply_plan(
-            vec![aql_hv::pool::PoolSpec::new(all, self.cfg.table.default_quantum_ns)],
+            vec![aql_hv::pool::PoolSpec::new(
+                all,
+                self.cfg.table.default_quantum_ns,
+            )],
             assignment,
         )
         .expect("machine-wide pool is always valid");
@@ -151,8 +158,9 @@ impl SchedPolicy for AqlSched {
 
     fn on_monitor(&mut self, hv: &mut Hypervisor, _now: SimTime) {
         let vtrs = self.vtrs.as_mut().expect("init ran");
-        let samples: Vec<PmuSample> = hv.vcpus.iter().map(|v| v.last_sample).collect();
-        let cursors = vtrs.observe(&samples);
+        self.samples.clear();
+        self.samples.extend(hv.vcpus.iter().map(|v| v.last_sample));
+        let cursors = vtrs.observe(&self.samples);
         if self.cfg.record_history > 0 {
             for (i, c) in cursors.iter().enumerate() {
                 if self.history[i].len() < self.cfg.record_history {
@@ -167,10 +175,7 @@ impl SchedPolicy for AqlSched {
         }
         let mut signature: Vec<(aql_hv::apptype::VcpuType, bool)> = (0..hv.vcpus.len())
             .map(|i| {
-                let previous = self
-                    .last_signature
-                    .as_ref()
-                    .map(|sig| sig[i].1);
+                let previous = self.last_signature.as_ref().map(|sig| sig[i].1);
                 (vtrs.type_of(i), vtrs.is_trashing_hysteresis(i, previous))
             })
             .collect();
@@ -192,13 +197,8 @@ impl SchedPolicy for AqlSched {
                 }
                 let best = (0..5).max_by_key(|&i| counts[i]).expect("non-empty");
                 let majority = aql_hv::apptype::VcpuType::ALL[best];
-                let trashing = vm
-                    .vcpus
-                    .iter()
-                    .filter(|v| signature[v.index()].1)
-                    .count()
-                    * 2
-                    > vm.vcpus.len();
+                let trashing =
+                    vm.vcpus.iter().filter(|v| signature[v.index()].1).count() * 2 > vm.vcpus.len();
                 for v in &vm.vcpus {
                     signature[v.index()] = (majority, trashing);
                 }
@@ -279,9 +279,18 @@ mod tests {
                 VmSpec::single("web"),
                 Box::new(IoServer::new("web", IoServerCfg::heterogeneous(150.0), 3)),
             )
-            .vm(VmSpec::single("llcf"), Box::new(MemWalk::llcf("llcf", &spec)))
-            .vm(VmSpec::single("lolcf"), Box::new(MemWalk::lolcf("lolcf", &spec)))
-            .vm(VmSpec::single("llco"), Box::new(MemWalk::llco("llco", &spec)))
+            .vm(
+                VmSpec::single("llcf"),
+                Box::new(MemWalk::llcf("llcf", &spec)),
+            )
+            .vm(
+                VmSpec::single("lolcf"),
+                Box::new(MemWalk::lolcf("lolcf", &spec)),
+            )
+            .vm(
+                VmSpec::single("llco"),
+                Box::new(MemWalk::llco("llco", &spec)),
+            )
             .build();
         sim.run_for(2 * SEC);
         let policy = sim
@@ -314,11 +323,7 @@ mod tests {
             .vm(VmSpec::single("b"), Box::new(MemWalk::lolcf("b", &spec)))
             .build();
         sim.run_for(3 * SEC);
-        let policy = sim
-            .policy()
-            .as_any()
-            .downcast_ref::<AqlSched>()
-            .unwrap();
+        let policy = sim.policy().as_any().downcast_ref::<AqlSched>().unwrap();
         // Types settle immediately and never change: exactly one
         // reclustering (the first decision).
         assert_eq!(policy.reclusterings(), 1, "no churn for stable types");
@@ -336,8 +341,10 @@ mod tests {
     fn history_recording_caps() {
         let spec = CacheSpec::i7_3770();
         let machine = MachineSpec::custom("1core", 1, 1, spec);
-        let mut cfg = AqlSchedConfig::default();
-        cfg.record_history = 10;
+        let cfg = AqlSchedConfig {
+            record_history: 10,
+            ..Default::default()
+        };
         let mut sim = SimulationBuilder::new(machine)
             .policy(Box::new(AqlSched::new(cfg)))
             .vm(VmSpec::single("a"), Box::new(MemWalk::llco("a", &spec)))

@@ -110,8 +110,7 @@ impl Calibrator {
             default_quantum_ns: self.default_quantum_ns,
         };
         for t in VcpuType::ALL {
-            let cells: Vec<&SweepPoint> =
-                points.iter().filter(|p| p.vtype == t).collect();
+            let cells: Vec<&SweepPoint> = points.iter().filter(|p| p.vtype == t).collect();
             if cells.is_empty() {
                 continue;
             }

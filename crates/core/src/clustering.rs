@@ -90,10 +90,7 @@ pub struct ClusterPlan {
 /// Algorithm 1: deal vCPUs out to sockets, trashing first.
 ///
 /// Returns per-socket descriptor lists, in `usable_sockets` order.
-pub fn first_level(
-    descs: &[VcpuDesc],
-    usable_sockets: &[SocketId],
-) -> Vec<Vec<VcpuDesc>> {
+pub fn first_level(descs: &[VcpuDesc], usable_sockets: &[SocketId]) -> Vec<Vec<VcpuDesc>> {
     assert!(!usable_sockets.is_empty(), "need at least one socket");
     // Line 3: same-VM vCPUs adjacent.
     let mut ordered: Vec<VcpuDesc> = descs.to_vec();
@@ -138,11 +135,7 @@ pub struct SocketClusters {
 
 /// Algorithm 2: cluster one socket's vCPUs by quantum-length
 /// compatibility and assign pCPU pools fairly.
-pub fn second_level(
-    vcpus: &[VcpuDesc],
-    pcpus: &[PcpuId],
-    table: &QuantumTable,
-) -> SocketClusters {
+pub fn second_level(vcpus: &[VcpuDesc], pcpus: &[PcpuId], table: &QuantumTable) -> SocketClusters {
     assert!(!pcpus.is_empty(), "socket without pCPUs");
     if vcpus.is_empty() {
         return SocketClusters {
@@ -219,9 +212,7 @@ pub fn second_level(
         for d in members.iter() {
             *group_size.entry(d.vm.index()).or_insert(0) += 1;
         }
-        members.sort_by_key(|d| {
-            (std::cmp::Reverse(group_size[&d.vm.index()]), d.vm, d.vcpu)
-        });
+        members.sort_by_key(|d| (std::cmp::Reverse(group_size[&d.vm.index()]), d.vm, d.vcpu));
     }
 
     // Lines 11-30: walk the pCPUs, taking k vCPUs at a time; when a
@@ -462,7 +453,10 @@ mod tests {
             .collect();
         s3.sort_by_key(|c| (c.is_default, c.quantum_ns));
         assert_eq!(s3.len(), 3);
-        let one_ms = s3.iter().find(|c| c.quantum_ns == aql_sim::time::MS && !c.is_default).unwrap();
+        let one_ms = s3
+            .iter()
+            .find(|c| c.quantum_ns == aql_sim::time::MS && !c.is_default)
+            .unwrap();
         assert_eq!(one_ms.vcpus.len(), 4);
         let ninety = s3
             .iter()
@@ -495,7 +489,11 @@ mod tests {
             .flat_map(|c| c.vcpus.iter().map(|v| v.index()))
             .collect();
         seen.sort_unstable();
-        assert_eq!(seen, (0..48).collect::<Vec<_>>(), "every vCPU in exactly one cluster");
+        assert_eq!(
+            seen,
+            (0..48).collect::<Vec<_>>(),
+            "every vCPU in exactly one cluster"
+        );
     }
 
     #[test]
@@ -512,7 +510,6 @@ mod tests {
         for i in 8..16 {
             descs.push(desc(i, 2 + i, VcpuType::Lolcf, false));
         }
-        let machine = MachineSpec::custom("2s", 2, 4, CacheSpec::i7_3770());
         let sockets = vec![SocketId(0), SocketId(1)];
         let per = first_level(&descs, &sockets);
         for vm in [VmId(0), VmId(1)] {
@@ -527,11 +524,14 @@ mod tests {
 
     #[test]
     fn all_agnostic_socket_forms_default_cluster() {
-        let descs: Vec<VcpuDesc> = (0..8)
-            .map(|i| desc(i, i, VcpuType::Llco, true))
-            .collect();
+        let descs: Vec<VcpuDesc> = (0..8).map(|i| desc(i, i, VcpuType::Llco, true)).collect();
         let machine = MachineSpec::custom("1s", 1, 2, CacheSpec::i7_3770());
-        let plan = cluster_machine(&machine, &[SocketId(0)], &descs, &QuantumTable::paper_defaults());
+        let plan = cluster_machine(
+            &machine,
+            &[SocketId(0)],
+            &descs,
+            &QuantumTable::paper_defaults(),
+        );
         assert_eq!(plan.clusters.len(), 1);
         assert!(plan.clusters[0].is_default);
         assert_eq!(plan.clusters[0].quantum_ns, 30 * aql_sim::time::MS);
@@ -542,7 +542,12 @@ mod tests {
     fn fewer_vcpus_than_pcpus_leaves_spares_in_a_pool() {
         let descs = vec![desc(0, 0, VcpuType::IoInt, false)];
         let machine = MachineSpec::custom("1s", 1, 4, CacheSpec::i7_3770());
-        let plan = cluster_machine(&machine, &[SocketId(0)], &descs, &QuantumTable::paper_defaults());
+        let plan = cluster_machine(
+            &machine,
+            &[SocketId(0)],
+            &descs,
+            &QuantumTable::paper_defaults(),
+        );
         // One 1 ms cluster with one pCPU; three spare pCPUs pooled.
         let total_pcpus: usize = plan.pools.iter().map(|p| p.pcpus.len()).sum();
         assert_eq!(total_pcpus, 4);
@@ -555,7 +560,12 @@ mod tests {
     fn excluded_socket_pcpus_go_idle() {
         let descs = vec![desc(0, 0, VcpuType::Llcf, false)];
         let machine = MachineSpec::custom("2s", 2, 2, CacheSpec::i7_3770());
-        let plan = cluster_machine(&machine, &[SocketId(1)], &descs, &QuantumTable::paper_defaults());
+        let plan = cluster_machine(
+            &machine,
+            &[SocketId(1)],
+            &descs,
+            &QuantumTable::paper_defaults(),
+        );
         // The cluster must live on socket 1.
         assert_eq!(plan.clusters[0].socket, SocketId(1));
         for p in &plan.clusters[0].pcpus {

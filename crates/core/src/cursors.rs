@@ -147,13 +147,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn sample(
-        io: u64,
-        ple: u64,
-        instructions: f64,
-        llc_refs: f64,
-        llc_misses: f64,
-    ) -> PmuSample {
+    fn sample(io: u64, ple: u64, instructions: f64, llc_refs: f64, llc_misses: f64) -> PmuSample {
         PmuSample {
             instructions,
             llc_refs,

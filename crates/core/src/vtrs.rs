@@ -138,6 +138,10 @@ impl VcpuMonitor {
 pub struct Vtrs {
     cfg: VtrsConfig,
     monitors: Vec<VcpuMonitor>,
+    /// The cursors recorded by the latest `observe` call, one per
+    /// vCPU. Kept as a reusable buffer so the per-monitoring-period
+    /// hot path performs no heap allocation.
+    last_cursors: Vec<Cursors>,
 }
 
 impl Vtrs {
@@ -146,6 +150,7 @@ impl Vtrs {
         Vtrs {
             monitors: (0..vcpus).map(|_| VcpuMonitor::new(cfg.window)).collect(),
             cfg,
+            last_cursors: Vec::with_capacity(vcpus),
         }
     }
 
@@ -158,26 +163,27 @@ impl Vtrs {
     /// Returns the effective cursors recorded for each vCPU: a fresh
     /// row when the period carried evidence (enough run time, or IO or
     /// PLE events), else the previous row held forward.
-    pub fn observe(&mut self, samples: &[PmuSample]) -> Vec<Cursors> {
+    ///
+    /// The returned slice borrows an internal buffer (overwritten by
+    /// the next call): `observe` runs every monitoring period and must
+    /// not allocate.
+    pub fn observe(&mut self, samples: &[PmuSample]) -> &[Cursors] {
         assert_eq!(samples.len(), self.monitors.len(), "sample count mismatch");
         let min_run = self.cfg.min_run_ns;
         let limits = self.cfg.limits;
-        samples
-            .iter()
-            .zip(&mut self.monitors)
-            .map(|(s, m)| {
-                let has_evidence =
-                    s.ran_ns >= min_run || s.io_events > 0 || s.ple_exits > 0;
+        self.last_cursors.clear();
+        self.last_cursors
+            .extend(samples.iter().zip(&mut self.monitors).map(|(s, m)| {
+                let has_evidence = s.ran_ns >= min_run || s.io_events > 0 || s.ple_exits > 0;
                 let c = if has_evidence {
                     Cursors::from_sample(s, &limits)
                 } else {
-                    m.last()
-                        .unwrap_or_else(|| Cursors::from_sample(s, &limits))
+                    m.last().unwrap_or_else(|| Cursors::from_sample(s, &limits))
                 };
                 m.push(c);
                 c
-            })
-            .collect()
+            }));
+        &self.last_cursors
     }
 
     /// The recognised type of a vCPU.

@@ -158,7 +158,11 @@ pub fn vtrs_window(quick: bool) -> Table {
 pub fn boost(quick: bool) -> Table {
     let mut table = Table::new(
         "Ablation: BOOST (exclusive-IO mean latency, ms)",
-        &["quantum", "boost on", "boost off (never-blocked co-runner wakes)"],
+        &[
+            "quantum",
+            "boost on",
+            "boost off (never-blocked co-runner wakes)",
+        ],
     );
     // "Boost off" is emulated by a server that never blocks (its wakes
     // never qualify for BOOST), with identical arrivals and service.
@@ -179,8 +183,7 @@ pub fn boost(quick: bool) -> Table {
                     };
                     (
                         VmSpec::single("baseline"),
-                        Box::new(IoServer::new("baseline", cfg, seed))
-                            as Box<dyn GuestWorkload>,
+                        Box::new(IoServer::new("baseline", cfg, seed)) as Box<dyn GuestWorkload>,
                     )
                 });
             }
@@ -203,7 +206,12 @@ pub fn boost(quick: bool) -> Table {
 pub fn substep(quick: bool) -> Table {
     let mut table = Table::new(
         "Ablation: engine sub-step (S5 under AQL, key metrics)",
-        &["substep", "IOInt latency (ms)", "ConSpin items", "utilisation"],
+        &[
+            "substep",
+            "IOInt latency (ms)",
+            "ConSpin items",
+            "utilisation",
+        ],
     );
     for sub in [50 * US, 100 * US, 250 * US, 500 * US] {
         let mut s = scenario(5);
@@ -243,7 +251,13 @@ pub fn scalability() -> Table {
     use std::time::Instant;
     let mut table = Table::new(
         "Scalability: wall-clock per simulated second vs machine size",
-        &["sockets", "pcpus", "vcpus", "wall ms / sim s", "reclusterings"],
+        &[
+            "sockets",
+            "pcpus",
+            "vcpus",
+            "wall ms / sim s",
+            "reclusterings",
+        ],
     );
     for sockets in [1usize, 2, 4, 8] {
         let cores = 4;

@@ -73,8 +73,20 @@ fn run(cmd: &str, quick: bool) -> Result<Vec<Table>, String> {
 }
 
 const ALL: [&str; 14] = [
-    "fig2", "fig4", "fig5", "fig6left", "fig6right", "fig7", "fig8", "table3", "table5",
-    "table6", "overhead", "fairness", "ablations", "scalability",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6left",
+    "fig6right",
+    "fig7",
+    "fig8",
+    "table3",
+    "table5",
+    "table6",
+    "overhead",
+    "fairness",
+    "ablations",
+    "scalability",
 ];
 
 fn main() -> ExitCode {

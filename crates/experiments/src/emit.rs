@@ -148,11 +148,11 @@ mod tests {
     #[test]
     fn csv_escaping() {
         assert_eq!(csv_line(&["a,b".to_string()]), "\"a,b\"");
-        assert_eq!(csv_line(&["he said \"hi\"".to_string()]), "\"he said \"\"hi\"\"\"");
         assert_eq!(
-            csv_line(&["plain".to_string(), "x".to_string()]),
-            "plain,x"
+            csv_line(&["he said \"hi\"".to_string()]),
+            "\"he said \"\"hi\"\"\""
         );
+        assert_eq!(csv_line(&["plain".to_string(), "x".to_string()]), "plain,x");
     }
 
     #[test]

@@ -196,11 +196,7 @@ pub fn panel_scenario(panel: Panel, k: usize) -> Scenario {
         };
         vms.push(filler);
     }
-    Scenario::new(
-        &format!("fig2{}-k{k}", panel.letter()),
-        one_core(),
-        vms,
-    )
+    Scenario::new(&format!("fig2{}-k{k}", panel.letter()), one_core(), vms)
 }
 
 /// Measures one panel: normalised cost per quantum for each sharing
@@ -244,7 +240,12 @@ pub fn run_panel(panel: Panel, quick: bool) -> Table {
 pub fn run_lock_inset(quick: bool) -> Table {
     let mut table = Table::new(
         "Fig2(inset) lock duration vs quantum",
-        &["quantum", "mean hold (us)", "max hold (us)", "mean wait (us)"],
+        &[
+            "quantum",
+            "mean hold (us)",
+            "max hold (us)",
+            "mean wait (us)",
+        ],
     );
     for q in [20 * MS, 40 * MS, 60 * MS, 80 * MS] {
         let mut scenario = panel_scenario(Panel::ConSpin, 4);

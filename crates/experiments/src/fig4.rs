@@ -105,9 +105,26 @@ mod tests {
 
     #[test]
     fn dominant_type_counts_wins() {
-        let mut t = Table::new("x", &["period", "IOInt", "ConSpin", "LLCF", "LoLCF", "LLCO"]);
-        t.row(vec!["0".into(), "90".into(), "0".into(), "10".into(), "0".into(), "0".into()]);
-        t.row(vec!["1".into(), "80".into(), "0".into(), "20".into(), "0".into(), "0".into()]);
+        let mut t = Table::new(
+            "x",
+            &["period", "IOInt", "ConSpin", "LLCF", "LoLCF", "LLCO"],
+        );
+        t.row(vec![
+            "0".into(),
+            "90".into(),
+            "0".into(),
+            "10".into(),
+            "0".into(),
+            "0".into(),
+        ]);
+        t.row(vec![
+            "1".into(),
+            "80".into(),
+            "0".into(),
+            "20".into(),
+            "0".into(),
+            "0".into(),
+        ]);
         assert_eq!(dominant_type(&t), Some("IOInt"));
     }
 }

@@ -37,8 +37,11 @@ pub fn io_vm(name: &str) -> ScenarioVm {
     ScenarioVm::new(VcpuType::IoInt, move |seed| {
         (
             VmSpec::single(&name),
-            Box::new(IoServer::new(&name, IoServerCfg::heterogeneous(120.0), seed))
-                as Box<dyn GuestWorkload>,
+            Box::new(IoServer::new(
+                &name,
+                IoServerCfg::heterogeneous(120.0),
+                seed,
+            )) as Box<dyn GuestWorkload>,
         )
     })
 }
@@ -93,7 +96,10 @@ pub fn walk_vm(class: VcpuType, name: &str) -> ScenarioVm {
             VcpuType::Llco => MemWalk::llco(&name, &spec),
             _ => panic!("walk_vm is for CPU-burn classes"),
         };
-        (VmSpec::single(&name), Box::new(wl) as Box<dyn GuestWorkload>)
+        (
+            VmSpec::single(&name),
+            Box::new(wl) as Box<dyn GuestWorkload>,
+        )
     })
 }
 
@@ -200,11 +206,7 @@ pub fn run_left(quick: bool) -> Table {
         let aql = s.run(Box::new(AqlSched::paper_defaults()));
         for class in classes_of(&s) {
             let norm = class_normalized(&s, &aql, &xen, class);
-            table.row(vec![
-                format!("S{id}"),
-                class.to_string(),
-                fmt_ratio(norm),
-            ]);
+            table.row(vec![format!("S{id}"), class.to_string(), fmt_ratio(norm)]);
         }
     }
     table
@@ -327,7 +329,9 @@ pub fn run_right(quick: bool) -> (Table, Table) {
     // The clusters AQL settled on (compare with Fig. 3).
     let mut clusters = Table::new(
         "Fig6(right) clusters formed",
-        &["cluster", "socket", "quantum", "#vcpus", "#pcpus", "default"],
+        &[
+            "cluster", "socket", "quantum", "#vcpus", "#pcpus", "default",
+        ],
     );
     if let Some(plan) = aql_sim
         .policy()

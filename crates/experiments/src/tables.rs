@@ -204,7 +204,11 @@ pub fn overhead() -> Table {
     let period_us = 30_000.0;
     let mut out = Table::new(
         "Overhead of vTRS + clustering (48 vCPUs, 16 pCPUs)",
-        &["component", "cost per invocation (us)", "share of 30ms period"],
+        &[
+            "component",
+            "cost per invocation (us)",
+            "share of 30ms period",
+        ],
     );
     out.row(vec![
         "vTRS observe".into(),

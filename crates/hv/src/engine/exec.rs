@@ -1,0 +1,111 @@
+//! The bounded sub-step execution loop.
+//!
+//! Between events, every pCPU is advanced by at most `substep_ns` of
+//! wall time; within a sub-step a pCPU may run several vCPUs back to
+//! back as slices expire, workloads block or yield. This loop is the
+//! engine's hot path: it performs no heap allocation in steady state.
+
+use aql_sim::time::SimTime;
+
+use super::Simulation;
+use crate::ids::{PcpuId, VcpuId};
+use crate::workload::{ExecContext, StopReason};
+
+impl Simulation {
+    /// Advances every pCPU by `dt` nanoseconds of wall time.
+    pub(super) fn advance_all(&mut self, dt: u64) {
+        for pi in 0..self.hv.pcpus.len() {
+            self.advance_pcpu(pi, dt);
+        }
+    }
+
+    /// Advances one pCPU by `dt`, running (possibly several) vCPUs and
+    /// enforcing quantum boundaries at nanosecond precision.
+    fn advance_pcpu(&mut self, pcpu: usize, dt: u64) {
+        let mut off: u64 = 0;
+        // Defensive bound: a pCPU cannot context-switch more often than
+        // once per zero-progress dispatch more than a few times.
+        let mut spins_without_progress = 0u32;
+        while off < dt {
+            let Some(vid) = self.hv.pcpus[pcpu].running else {
+                if !self.try_dispatch(pcpu, self.now + off) {
+                    return; // Idle for the rest of the step.
+                }
+                continue;
+            };
+            let t0 = self.now + off;
+            let slice_left = self.hv.vcpus[vid.index()].slice_end.saturating_since(t0);
+            if slice_left == 0 {
+                self.preempt(pcpu, vid, true);
+                continue;
+            }
+            let budget = (dt - off).min(slice_left);
+            let used = self.run_workload(pcpu, vid, budget, t0);
+            off += used.used_ns;
+            if used.used_ns == 0 {
+                spins_without_progress += 1;
+                if spins_without_progress > 8 {
+                    return; // Degenerate workload; stay idle this step.
+                }
+            } else {
+                spins_without_progress = 0;
+            }
+            match used.stop {
+                StopReason::BudgetExhausted => {
+                    // Quantum boundary handled at the top of the loop.
+                }
+                StopReason::Blocked => {
+                    self.block(pcpu, vid);
+                }
+                StopReason::Yielded => {
+                    self.yield_requeue(pcpu, vid);
+                }
+            }
+        }
+    }
+
+    /// Runs `vid`'s workload for `budget` ns and accounts the usage.
+    fn run_workload(
+        &mut self,
+        pcpu: usize,
+        vid: VcpuId,
+        budget: u64,
+        t0: SimTime,
+    ) -> crate::workload::RunOutcome {
+        let (vm, slot, socket) = {
+            let v = &self.hv.vcpus[vid.index()];
+            let socket = self.hv.machine.socket_of(PcpuId(pcpu)).index();
+            (v.vm.index(), v.slot, socket)
+        };
+        let super::Hypervisor {
+            vcpus,
+            llcs,
+            machine,
+            ..
+        } = &mut self.hv;
+        let v = &mut vcpus[vid.index()];
+        let mut ctx = ExecContext {
+            now: t0,
+            spec: &machine.cache,
+            llc: &mut llcs[socket],
+            pmu: &mut v.pmu,
+            l2_warmth: &mut v.l2_warmth,
+            rng: &mut self.rng,
+            owner: vid.index(),
+            running_slots: &self.vm_running[vm],
+        };
+        let mut out = self.workloads[vm].run(slot, budget, &mut ctx);
+        debug_assert!(
+            out.used_ns <= budget,
+            "workload '{}' overran its budget",
+            self.workloads[vm].name()
+        );
+        out.used_ns = out.used_ns.min(budget);
+        let v = &mut self.hv.vcpus[vid.index()];
+        v.cpu_ns += out.used_ns;
+        v.unbilled_ns += out.used_ns;
+        v.pmu.add_ran_ns(out.used_ns);
+        self.hv.pcpus[pcpu].busy_ns += out.used_ns;
+        out
+    }
+}

@@ -26,6 +26,8 @@
 //! * [`report`] — per-run results: CPU accounting, fairness indices and
 //!   workload metrics.
 
+#![warn(missing_docs)]
+
 pub mod apptype;
 pub mod engine;
 pub mod ids;
@@ -47,8 +49,7 @@ pub use report::{RunReport, VmReport};
 pub use topology::MachineSpec;
 pub use vm::{Prio, Vcpu, VcpuState, VmSpec};
 pub use workload::{
-    ExecContext, GuestWorkload, LatencySummary, RunOutcome, StopReason, TimerFire,
-    WorkloadMetrics,
+    ExecContext, GuestWorkload, LatencySummary, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
 };
 
 /// The Xen Credit scheduler's accounting tick (10 ms).

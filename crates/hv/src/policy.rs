@@ -12,7 +12,7 @@ use std::any::Any;
 
 use aql_sim::time::SimTime;
 
-use crate::engine::Hypervisor;
+use crate::engine::{DispatchDecision, Hypervisor};
 use crate::ids::PoolId;
 use crate::pool::PoolSpec;
 use crate::DEFAULT_QUANTUM_NS;
@@ -28,6 +28,14 @@ pub trait SchedPolicy {
     /// Called every monitoring period (30 ms) after per-vCPU PMU
     /// snapshots are refreshed in `Vcpu::last_sample`.
     fn on_monitor(&mut self, _hv: &mut Hypervisor, _now: SimTime) {}
+
+    /// Called after every [`DispatchDecision`] has been applied — the
+    /// single context-switch path every policy shares. Policies
+    /// influence decisions only through configuration (pool quanta,
+    /// overrides, kick periods); this hook exists to *observe* the
+    /// unified dispatch stream (tracing, per-slice accounting) and is
+    /// a no-op by default.
+    fn on_dispatch(&mut self, _hv: &Hypervisor, _decision: &DispatchDecision, _now: SimTime) {}
 
     /// Downcast support so experiment harnesses can pull
     /// policy-internal traces (e.g. vTRS cursor histories).

@@ -126,6 +126,12 @@ impl RunQueue {
         self.boost.len() + self.under.len() + self.over.len()
     }
 
+    /// Queued vCPUs a peer is allowed to steal (`BOOST` is never
+    /// stolen, so it does not count).
+    pub fn stealable_len(&self) -> usize {
+        self.under.len() + self.over.len()
+    }
+
     /// Whether nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -197,7 +203,11 @@ pub fn refill_credits(vcpus: &mut [Vcpu], vms: &[VmMeta], pools: &[CpuPool]) {
             for &vi in members {
                 let v = &mut vcpus[vi];
                 v.credit = (v.credit + per_vcpu).min(CREDIT_MAX);
-                v.prio = if v.credit < 0.0 { Prio::Over } else { Prio::Under };
+                v.prio = if v.credit < 0.0 {
+                    Prio::Over
+                } else {
+                    Prio::Under
+                };
             }
         }
     }
@@ -373,5 +383,179 @@ mod tests {
         refill_credits(&mut vcpus, &vms, &pools);
         assert!((vcpus[0].credit - 150.0).abs() < 1e-9);
         assert!((vcpus[1].credit - 150.0).abs() < 1e-9);
+    }
+}
+
+/// Property tests: [`RunQueue`] against a straightforward reference
+/// model (three explicit FIFO lists) under random operation sequences.
+#[cfg(test)]
+mod runqueue_properties {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    /// The reference model: one FIFO per class, mirroring the
+    /// documented semantics directly.
+    #[derive(Debug, Default)]
+    struct Model {
+        classes: [VecDeque<VcpuId>; 3],
+    }
+
+    const PRIOS: [Prio; 3] = [Prio::Boost, Prio::Under, Prio::Over];
+
+    fn class_idx(p: Prio) -> usize {
+        match p {
+            Prio::Boost => 0,
+            Prio::Under => 1,
+            Prio::Over => 2,
+        }
+    }
+
+    impl Model {
+        fn push_tail(&mut self, p: Prio, id: VcpuId) {
+            self.classes[class_idx(p)].push_back(id);
+        }
+
+        fn push_head(&mut self, p: Prio, id: VcpuId) {
+            self.classes[class_idx(p)].push_front(id);
+        }
+
+        fn pop_best(&mut self) -> Option<(VcpuId, Prio)> {
+            for (i, q) in self.classes.iter_mut().enumerate() {
+                if let Some(v) = q.pop_front() {
+                    return Some((v, PRIOS[i]));
+                }
+            }
+            None
+        }
+
+        fn best_class(&self) -> Option<Prio> {
+            self.classes
+                .iter()
+                .position(|q| !q.is_empty())
+                .map(|i| PRIOS[i])
+        }
+
+        /// Steal prefers `Under` tails, falls back to `Over`; `Boost`
+        /// is never stolen.
+        fn steal_tail(&mut self) -> Option<(VcpuId, Prio)> {
+            if let Some(v) = self.classes[1].pop_back() {
+                return Some((v, Prio::Under));
+            }
+            self.classes[2].pop_back().map(|v| (v, Prio::Over))
+        }
+
+        /// Removes the first occurrence, searching best class first.
+        fn remove(&mut self, id: VcpuId) -> bool {
+            for q in &mut self.classes {
+                if let Some(pos) = q.iter().position(|&v| v == id) {
+                    q.remove(pos);
+                    return true;
+                }
+            }
+            false
+        }
+
+        fn len(&self) -> usize {
+            self.classes.iter().map(|q| q.len()).sum()
+        }
+
+        fn iter(&self) -> impl Iterator<Item = VcpuId> + '_ {
+            self.classes.iter().flatten().copied()
+        }
+    }
+
+    /// Encoded operation: (opcode, priority selector, vCPU selector).
+    /// Small vCPU domains force duplicate-id and remove-hit coverage.
+    fn arb_ops() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+        prop::collection::vec((0usize..5, 0usize..3, 0usize..12), 1..120)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Every operation agrees with the reference model, and
+        /// `len`/`is_empty`/`best_class` stay consistent throughout.
+        #[test]
+        fn matches_reference_model(ops in arb_ops()) {
+            let mut q = RunQueue::new();
+            let mut m = Model::default();
+            for (op, prio_sel, vcpu_sel) in ops {
+                let prio = PRIOS[prio_sel];
+                let id = VcpuId(vcpu_sel);
+                match op {
+                    0 => {
+                        q.push_tail(prio, id);
+                        m.push_tail(prio, id);
+                    }
+                    1 => {
+                        q.push_head(prio, id);
+                        m.push_head(prio, id);
+                    }
+                    2 => prop_assert_eq!(q.pop_best(), m.pop_best()),
+                    3 => prop_assert_eq!(q.steal_tail(), m.steal_tail()),
+                    _ => prop_assert_eq!(q.remove(id), m.remove(id)),
+                }
+                prop_assert_eq!(q.len(), m.len());
+                prop_assert_eq!(q.is_empty(), m.len() == 0);
+                prop_assert_eq!(
+                    q.stealable_len(),
+                    m.classes[1].len() + m.classes[2].len()
+                );
+                prop_assert_eq!(q.best_class(), m.best_class());
+                let got: Vec<VcpuId> = q.iter().collect();
+                let want: Vec<VcpuId> = m.iter().collect();
+                prop_assert_eq!(got, want, "iteration order diverged");
+            }
+        }
+
+        /// Draining any population by `pop_best` yields classes in
+        /// strict priority order and FIFO order within a class.
+        #[test]
+        fn drain_orders_classes_then_fifo(ops in arb_ops()) {
+            let mut q = RunQueue::new();
+            let mut per_class: [Vec<VcpuId>; 3] = Default::default();
+            for (op, prio_sel, vcpu_sel) in ops {
+                // Only pushes: build an arbitrary population.
+                if op < 4 {
+                    let prio = PRIOS[prio_sel];
+                    let id = VcpuId(vcpu_sel);
+                    q.push_tail(prio, id);
+                    per_class[prio_sel].push(id);
+                }
+            }
+            let mut drained: Vec<(VcpuId, Prio)> = Vec::new();
+            while let Some(e) = q.pop_best() {
+                drained.push(e);
+            }
+            let want: Vec<(VcpuId, Prio)> = PRIOS
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &p)| per_class[i].iter().map(move |&v| (v, p)))
+                .collect();
+            prop_assert_eq!(drained, want);
+            prop_assert!(q.is_empty());
+            prop_assert_eq!(q.len(), 0);
+        }
+
+        /// `steal_tail` never yields `Boost`, and stealing until dry
+        /// leaves exactly the boosted entries behind.
+        #[test]
+        fn steal_never_takes_boost(ops in arb_ops()) {
+            let mut q = RunQueue::new();
+            let mut boosted = 0usize;
+            for (op, prio_sel, vcpu_sel) in ops {
+                if op < 4 {
+                    q.push_tail(PRIOS[prio_sel], VcpuId(vcpu_sel));
+                    if PRIOS[prio_sel] == Prio::Boost {
+                        boosted += 1;
+                    }
+                }
+            }
+            while let Some((_, p)) = q.steal_tail() {
+                prop_assert_ne!(p, Prio::Boost, "steal must never take BOOST");
+            }
+            prop_assert_eq!(q.len(), boosted, "only boosted entries survive stealing");
+        }
     }
 }

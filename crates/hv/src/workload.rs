@@ -86,7 +86,14 @@ impl ExecContext<'_> {
     /// Executes `dt_ns` of CPU under `profile`, updating the LLC, the
     /// L2 warmth and the PMU. Returns the retirement outcome.
     pub fn exec_mem(&mut self, profile: &MemProfile, dt_ns: u64) -> ExecOutcome {
-        let out = exec_step(profile, self.spec, self.llc, self.owner, self.l2_warmth, dt_ns);
+        let out = exec_step(
+            profile,
+            self.spec,
+            self.llc,
+            self.owner,
+            self.l2_warmth,
+            dt_ns,
+        );
         self.pmu.add_exec(&out);
         out
     }
@@ -153,9 +160,7 @@ impl WorkloadMetrics {
     /// instruction rate for memory workloads.
     pub fn time_cost(&self) -> Option<f64> {
         match self {
-            WorkloadMetrics::Io { latency, .. } => {
-                (latency.count > 0).then_some(latency.mean_ns)
-            }
+            WorkloadMetrics::Io { latency, .. } => (latency.count > 0).then_some(latency.mean_ns),
             WorkloadMetrics::Spin { work_items, .. } => {
                 (*work_items > 0).then_some(1.0 / *work_items as f64)
             }
@@ -260,12 +265,8 @@ mod tests {
 
     #[test]
     fn mem_cost_decreases_with_more_instructions() {
-        let a = WorkloadMetrics::Mem {
-            instructions: 1e6,
-        };
-        let b = WorkloadMetrics::Mem {
-            instructions: 2e6,
-        };
+        let a = WorkloadMetrics::Mem { instructions: 1e6 };
+        let b = WorkloadMetrics::Mem { instructions: 2e6 };
         assert!(a.time_cost().unwrap() > b.time_cost().unwrap());
     }
 }

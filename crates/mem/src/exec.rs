@@ -90,8 +90,7 @@ pub fn exec_step(
         // MAX_FILL_FRACTION of its target within frozen rates.
         let mut chunk = remaining;
         if llc_miss_per_instr > 1e-12 && wss > 0.0 {
-            let instr_cap = (wss * MAX_FILL_FRACTION / spec.line_bytes as f64)
-                / llc_miss_per_instr;
+            let instr_cap = (wss * MAX_FILL_FRACTION / spec.line_bytes as f64) / llc_miss_per_instr;
             chunk = chunk.min(instr_cap * ns_per_instr);
         }
         let l2_fill_per_instr = deep * (1.0 - h2);
@@ -231,7 +230,10 @@ mod tests {
         let mut llc = LlcState::new(spec.llc_bytes as f64, 1);
         let mut w2 = 0.0;
         let cold = exec_step(&p, &spec, &mut llc, 0, &mut w2, MS);
-        assert!(w2 > 0.99, "1ms should fully rewarm a 230KB L2 set, got {w2}");
+        assert!(
+            w2 > 0.99,
+            "1ms should fully rewarm a 230KB L2 set, got {w2}"
+        );
         let warm = exec_step(&p, &spec, &mut llc, 0, &mut w2, MS);
         let ratio = warm.instructions / cold.instructions;
         assert!(

@@ -97,7 +97,8 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
-        let same = (0..32).all(|_| a.uniform_u64(0, u64::MAX - 1) == b.uniform_u64(0, u64::MAX - 1));
+        let same =
+            (0..32).all(|_| a.uniform_u64(0, u64::MAX - 1) == b.uniform_u64(0, u64::MAX - 1));
         assert!(!same);
     }
 

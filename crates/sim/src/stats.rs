@@ -343,7 +343,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.set(SimTime::from_ms(10), 1.0); // 0 for 10ms
         tw.set(SimTime::from_ms(20), 3.0); // 1 for 10ms
-        // 3 for 10ms; mean over 30ms = (0*10 + 1*10 + 3*10)/30 = 4/3.
+                                           // 3 for 10ms; mean over 30ms = (0*10 + 1*10 + 3*10)/30 = 4/3.
         let m = tw.mean(SimTime::from_ms(30));
         assert!((m - 4.0 / 3.0).abs() < 1e-12, "mean {m}");
     }

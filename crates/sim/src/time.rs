@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn duration_formatting() {
         assert_eq!(fmt_dur(90 * MS), "90ms");
-        assert_eq!(fmt_dur(1 * SEC), "1s");
+        assert_eq!(fmt_dur(SEC), "1s");
         assert_eq!(fmt_dur(10 * US), "10us");
         assert_eq!(fmt_dur(1), "1ns");
     }

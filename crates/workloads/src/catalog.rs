@@ -139,11 +139,7 @@ pub fn build_app_vm(
     };
     let wl: Box<dyn GuestWorkload> = match name {
         // --- IO ---
-        "SPECweb2009" => Box::new(IoServer::new(
-            name,
-            IoServerCfg::heterogeneous(120.0),
-            seed,
-        )),
+        "SPECweb2009" => Box::new(IoServer::new(name, IoServerCfg::heterogeneous(120.0), seed)),
         "SPECmail2009" => Box::new(IoServer::new(
             name,
             IoServerCfg {

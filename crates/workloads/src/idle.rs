@@ -1,6 +1,8 @@
 //! A permanently idle VM.
 
-use aql_hv::workload::{ExecContext, GuestWorkload, RunOutcome, StopReason, TimerFire, WorkloadMetrics};
+use aql_hv::workload::{
+    ExecContext, GuestWorkload, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
+};
 use aql_sim::time::SimTime;
 
 /// A VM that never wants the CPU; useful as scenario padding and in
@@ -63,14 +65,13 @@ mod tests {
 
     #[test]
     fn idle_vm_consumes_nothing() {
-        let mut sim = SimulationBuilder::new(MachineSpec::custom(
-            "1core",
-            1,
-            1,
-            CacheSpec::i7_3770(),
-        ))
-        .vm(VmSpec::smp("idle", 2), Box::new(IdleWorkload::new("idle", 2)))
-        .build();
+        let mut sim =
+            SimulationBuilder::new(MachineSpec::custom("1core", 1, 1, CacheSpec::i7_3770()))
+                .vm(
+                    VmSpec::smp("idle", 2),
+                    Box::new(IdleWorkload::new("idle", 2)),
+                )
+                .build();
         sim.run_for(SEC);
         let report = sim.report();
         assert_eq!(report.vms[0].cpu_ns(), 0);

@@ -21,8 +21,7 @@
 use std::collections::VecDeque;
 
 use aql_hv::workload::{
-    ExecContext, GuestWorkload, LatencySummary, RunOutcome, StopReason, TimerFire,
-    WorkloadMetrics,
+    ExecContext, GuestWorkload, LatencySummary, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
 };
 use aql_mem::MemProfile;
 use aql_sim::rng::SimRng;
@@ -150,9 +149,11 @@ impl IoServer {
             .heavy_every
             .is_some_and(|n| n > 0 && self.seq.is_multiple_of(n));
         if heavy {
-            self.rng.jitter_ns(self.cfg.heavy_service_ns, self.cfg.service_jitter)
+            self.rng
+                .jitter_ns(self.cfg.heavy_service_ns, self.cfg.service_jitter)
         } else {
-            self.rng.jitter_ns(self.cfg.service_ns, self.cfg.service_jitter)
+            self.rng
+                .jitter_ns(self.cfg.service_ns, self.cfg.service_jitter)
         }
     }
 }
@@ -275,8 +276,7 @@ mod tests {
     }
 
     fn mean_latency_ms(report: &aql_hv::RunReport, name: &str) -> f64 {
-        let WorkloadMetrics::Io { latency, .. } = &report.vm_by_name(name).unwrap().metrics
-        else {
+        let WorkloadMetrics::Io { latency, .. } = &report.vm_by_name(name).unwrap().metrics else {
             panic!("expected Io metrics");
         };
         latency.mean_ns / MS as f64
@@ -302,7 +302,10 @@ mod tests {
         let report = sim.report();
         assert!(completed(&report, "web") > 800, "requests should complete");
         let lat = mean_latency_ms(&report, "web");
-        assert!(lat < 0.5, "solo latency should be sub-half-millisecond, got {lat}ms");
+        assert!(
+            lat < 0.5,
+            "solo latency should be sub-half-millisecond, got {lat}ms"
+        );
     }
 
     #[test]
@@ -373,8 +376,9 @@ mod tests {
             .build();
         sim.run_for(2 * SEC);
         let report = sim.report();
-        let WorkloadMetrics::Io { offered, completed, .. } =
-            report.vm_by_name("web").unwrap().metrics
+        let WorkloadMetrics::Io {
+            offered, completed, ..
+        } = report.vm_by_name("web").unwrap().metrics
         else {
             panic!("expected Io metrics");
         };

@@ -134,14 +134,10 @@ mod tests {
                 },
             ],
         );
-        let mut sim = SimulationBuilder::new(MachineSpec::custom(
-            "1core",
-            1,
-            1,
-            CacheSpec::i7_3770(),
-        ))
-        .vm(VmSpec::single("p"), Box::new(w))
-        .build();
+        let mut sim =
+            SimulationBuilder::new(MachineSpec::custom("1core", 1, 1, CacheSpec::i7_3770()))
+                .vm(VmSpec::single("p"), Box::new(w))
+                .build();
         sim.run_for(SEC);
         // 1 s of CPU over 200 ms cycles → about 5 switches per cycle
         // boundary pair, i.e. ~5 cycles → ~9-10 switches.

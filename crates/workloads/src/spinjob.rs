@@ -428,17 +428,13 @@ mod tests {
 
     #[test]
     fn solo_job_completes_items_with_short_holds() {
-        let mut sim = SimulationBuilder::new(MachineSpec::custom(
-            "4core",
-            1,
-            4,
-            CacheSpec::i7_3770(),
-        ))
-        .vm(
-            VmSpec::smp("job", 4),
-            Box::new(SpinJob::new("job", SpinJobCfg::kernbench(4), 5)),
-        )
-        .build();
+        let mut sim =
+            SimulationBuilder::new(MachineSpec::custom("4core", 1, 4, CacheSpec::i7_3770()))
+                .vm(
+                    VmSpec::smp("job", 4),
+                    Box::new(SpinJob::new("job", SpinJobCfg::kernbench(4), 5)),
+                )
+                .build();
         sim.run_for(2 * SEC);
         let (items, hold, _) = spin_metrics(&sim.report(), "job");
         assert!(items > 10_000, "uncontended job too slow: {items} items");
@@ -453,17 +449,13 @@ mod tests {
 
     #[test]
     fn solo_job_advances_phases() {
-        let mut sim = SimulationBuilder::new(MachineSpec::custom(
-            "2core",
-            1,
-            2,
-            CacheSpec::i7_3770(),
-        ))
-        .vm(
-            VmSpec::smp("job", 2),
-            Box::new(SpinJob::new("job", SpinJobCfg::kernbench(2), 5)),
-        )
-        .build();
+        let mut sim =
+            SimulationBuilder::new(MachineSpec::custom("2core", 1, 2, CacheSpec::i7_3770()))
+                .vm(
+                    VmSpec::smp("job", 2),
+                    Box::new(SpinJob::new("job", SpinJobCfg::kernbench(2), 5)),
+                )
+                .build();
         sim.run_for(2 * SEC);
         let report = sim.report();
         let WorkloadMetrics::Spin { work_items, .. } = report.vm_by_name("job").unwrap().metrics
@@ -482,23 +474,19 @@ mod tests {
         // barrier stragglers and lock stalls scale with the quantum.
         let run = |quantum: u64| {
             let spec = CacheSpec::i7_3770();
-            let mut sim = SimulationBuilder::new(MachineSpec::custom(
-                "1core",
-                1,
-                1,
-                CacheSpec::i7_3770(),
-            ))
-            .policy(Box::new(FixedQuantumPolicy::new(quantum)))
-            .vm(
-                VmSpec {
-                    weight: 512,
-                    ..VmSpec::smp("job", 2)
-                },
-                Box::new(SpinJob::new("job", SpinJobCfg::kernbench(2), 5)),
-            )
-            .vm(VmSpec::single("h1"), Box::new(MemWalk::lolcf("h1", &spec)))
-            .vm(VmSpec::single("h2"), Box::new(MemWalk::lolcf("h2", &spec)))
-            .build();
+            let mut sim =
+                SimulationBuilder::new(MachineSpec::custom("1core", 1, 1, CacheSpec::i7_3770()))
+                    .policy(Box::new(FixedQuantumPolicy::new(quantum)))
+                    .vm(
+                        VmSpec {
+                            weight: 512,
+                            ..VmSpec::smp("job", 2)
+                        },
+                        Box::new(SpinJob::new("job", SpinJobCfg::kernbench(2), 5)),
+                    )
+                    .vm(VmSpec::single("h1"), Box::new(MemWalk::lolcf("h1", &spec)))
+                    .vm(VmSpec::single("h2"), Box::new(MemWalk::lolcf("h2", &spec)))
+                    .build();
             sim.run_for(SEC);
             sim.reset_measurements();
             sim.run_for(6 * SEC);
@@ -527,14 +515,10 @@ mod tests {
             cs_ns: 20 * US,
             ..SpinJobCfg::kernbench(2)
         };
-        let mut sim = SimulationBuilder::new(MachineSpec::custom(
-            "1core",
-            1,
-            1,
-            CacheSpec::i7_3770(),
-        ))
-        .vm(VmSpec::smp("job", 2), Box::new(SpinJob::new("job", cfg, 5)))
-        .build();
+        let mut sim =
+            SimulationBuilder::new(MachineSpec::custom("1core", 1, 1, CacheSpec::i7_3770()))
+                .vm(VmSpec::smp("job", 2), Box::new(SpinJob::new("job", cfg, 5)))
+                .build();
         sim.run_for(SEC);
         let report = sim.report();
         let WorkloadMetrics::Spin { spin_ns, .. } = report.vm_by_name("job").unwrap().metrics
@@ -555,14 +539,10 @@ mod tests {
             cs_ns: 20 * US,
             ..SpinJobCfg::kernbench(2)
         };
-        let mut sim = SimulationBuilder::new(MachineSpec::custom(
-            "1core",
-            1,
-            1,
-            CacheSpec::i7_3770(),
-        ))
-        .vm(VmSpec::smp("job", 2), Box::new(SpinJob::new("job", cfg, 5)))
-        .build();
+        let mut sim =
+            SimulationBuilder::new(MachineSpec::custom("1core", 1, 1, CacheSpec::i7_3770()))
+                .vm(VmSpec::smp("job", 2), Box::new(SpinJob::new("job", cfg, 5)))
+                .build();
         let mut total_ple = 0u64;
         for _ in 0..20 {
             sim.run_for(30 * MS);

@@ -43,8 +43,7 @@ fn build(policy: Box<dyn SchedPolicy>) -> aql_sched::hv::Simulation {
 }
 
 fn job_items(report: &RunReport, name: &str) -> u64 {
-    let WorkloadMetrics::Spin { work_items, .. } = report.vm_by_name(name).unwrap().metrics
-    else {
+    let WorkloadMetrics::Spin { work_items, .. } = report.vm_by_name(name).unwrap().metrics else {
         panic!("expected Spin metrics");
     };
     work_items
@@ -58,15 +57,15 @@ fn main() {
     let aql = aql_sim.report();
 
     println!();
-    println!("{:<16} {:>14} {:>14} {:>8}", "job", "xen items", "aql items", "gain");
+    println!(
+        "{:<16} {:>14} {:>14} {:>8}",
+        "job", "xen items", "aql items", "gain"
+    );
     println!("{}", "-".repeat(56));
     for job in JOBS {
         let x = job_items(&xen, job);
         let a = job_items(&aql, job);
-        println!(
-            "{job:<16} {x:>14} {a:>14} {:>7.2}x",
-            a as f64 / x as f64
-        );
+        println!("{job:<16} {x:>14} {a:>14} {:>7.2}x", a as f64 / x as f64);
     }
 
     // Show what AQL decided.

@@ -27,7 +27,11 @@ fn run(policy: Box<dyn SchedPolicy>) -> RunReport {
         let name = format!("web-{i}");
         b = b.vm(
             VmSpec::single(&name),
-            Box::new(IoServer::new(&name, IoServerCfg::heterogeneous(120.0), 10 + i)),
+            Box::new(IoServer::new(
+                &name,
+                IoServerCfg::heterogeneous(120.0),
+                10 + i,
+            )),
         );
     }
     // A parallel, spin-synchronised job (PARSEC-like).
@@ -41,15 +45,24 @@ fn run(policy: Box<dyn SchedPolicy>) -> RunReport {
     // Cache-sensitive and cache-trashing batch work.
     for i in 0..4 {
         let name = format!("llcf-{i}");
-        b = b.vm(VmSpec::single(&name), Box::new(MemWalk::llcf(&name, &cache)));
+        b = b.vm(
+            VmSpec::single(&name),
+            Box::new(MemWalk::llcf(&name, &cache)),
+        );
     }
     for i in 0..2 {
         let name = format!("llco-{i}");
-        b = b.vm(VmSpec::single(&name), Box::new(MemWalk::llco(&name, &cache)));
+        b = b.vm(
+            VmSpec::single(&name),
+            Box::new(MemWalk::llco(&name, &cache)),
+        );
     }
     for i in 0..2 {
         let name = format!("lolcf-{i}");
-        b = b.vm(VmSpec::single(&name), Box::new(MemWalk::lolcf(&name, &cache)));
+        b = b.vm(
+            VmSpec::single(&name),
+            Box::new(MemWalk::lolcf(&name, &cache)),
+        );
     }
     let mut sim = b.build();
     sim.run_for(SEC); // warm-up
@@ -73,10 +86,9 @@ fn main() {
     for vm in &xen.vms {
         let a = aql.vm_by_name(&vm.name).expect("same population");
         let (xv, av, unit) = match (&vm.metrics, &a.metrics) {
-            (
-                WorkloadMetrics::Io { latency: lx, .. },
-                WorkloadMetrics::Io { latency: la, .. },
-            ) => (lx.mean_ns / 1e6, la.mean_ns / 1e6, "ms latency"),
+            (WorkloadMetrics::Io { latency: lx, .. }, WorkloadMetrics::Io { latency: la, .. }) => {
+                (lx.mean_ns / 1e6, la.mean_ns / 1e6, "ms latency")
+            }
             (
                 WorkloadMetrics::Spin { work_items: ix, .. },
                 WorkloadMetrics::Spin { work_items: ia, .. },
@@ -88,7 +100,11 @@ fn main() {
             _ => continue,
         };
         // For latency lower is better; for throughput higher is better.
-        let gain = if unit == "ms latency" { xv / av } else { av / xv };
+        let gain = if unit == "ms latency" {
+            xv / av
+        } else {
+            av / xv
+        };
         println!(
             "{:<10} {:>15.2} {:<6} {:>15.2} {:<6} {:>8.2}x",
             vm.name, xv, unit, av, unit, gain

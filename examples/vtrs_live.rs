@@ -41,8 +41,8 @@ fn main() {
         .build();
 
     println!(
-        "{:>8}  {:>7} {:>8} {:>6} {:>6} {:>6}  {}",
-        "time", "IOInt", "ConSpin", "LLCF", "LoLCF", "LLCO", "recognised type"
+        "{:>8}  {:>7} {:>8} {:>6} {:>6} {:>6}  recognised type",
+        "time", "IOInt", "ConSpin", "LLCF", "LoLCF", "LLCO"
     );
     println!("{}", "-".repeat(66));
     // Step through monitoring windows and print the decision evolution.

@@ -25,7 +25,11 @@ fn run(policy: Box<dyn SchedPolicy>) -> (String, f64, f64, f64) {
         let name = format!("web-{i}");
         b = b.vm(
             VmSpec::single(&name),
-            Box::new(IoServer::new(&name, IoServerCfg::heterogeneous(150.0), 30 + i)),
+            Box::new(IoServer::new(
+                &name,
+                IoServerCfg::heterogeneous(150.0),
+                30 + i,
+            )),
         );
     }
     for i in 0..12 {

@@ -4,7 +4,7 @@
 use aql_sched::baselines::xen_credit;
 use aql_sched::core::AqlSched;
 use aql_sched::hv::policy::FixedQuantumPolicy;
-use aql_sched::hv::workload::{GuestWorkload, WorkloadMetrics};
+use aql_sched::hv::workload::WorkloadMetrics;
 use aql_sched::hv::{MachineSpec, SimulationBuilder, VmSpec};
 use aql_sched::mem::CacheSpec;
 use aql_sched::sim::time::{MS, SEC};
@@ -168,8 +168,7 @@ fn aql_beats_xen_on_a_mixed_machine() {
     );
     // Spin throughput must not regress materially.
     let items = |r: &aql_sched::hv::RunReport| -> u64 {
-        let WorkloadMetrics::Spin { work_items, .. } = r.vm_by_name("job").unwrap().metrics
-        else {
+        let WorkloadMetrics::Spin { work_items, .. } = r.vm_by_name("job").unwrap().metrics else {
             panic!("expected Spin metrics");
         };
         work_items

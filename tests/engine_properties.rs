@@ -38,7 +38,11 @@ fn build_vm(kind: Kind, i: usize, cache: &CacheSpec) -> (VmSpec, Box<dyn GuestWo
     match kind {
         Kind::Io => (
             VmSpec::single(&name),
-            Box::new(IoServer::new(&name, IoServerCfg::exclusive(120.0), i as u64)),
+            Box::new(IoServer::new(
+                &name,
+                IoServerCfg::exclusive(120.0),
+                i as u64,
+            )),
         ),
         Kind::Het => (
             VmSpec::single(&name),
@@ -55,18 +59,12 @@ fn build_vm(kind: Kind, i: usize, cache: &CacheSpec) -> (VmSpec, Box<dyn GuestWo
             },
             Box::new(SpinJob::new(&name, SpinJobCfg::kernbench(2), i as u64)),
         ),
-        Kind::Llcf => (
-            VmSpec::single(&name),
-            Box::new(MemWalk::llcf(&name, cache)),
-        ),
+        Kind::Llcf => (VmSpec::single(&name), Box::new(MemWalk::llcf(&name, cache))),
         Kind::Lolcf => (
             VmSpec::single(&name),
             Box::new(MemWalk::lolcf(&name, cache)),
         ),
-        Kind::Llco => (
-            VmSpec::single(&name),
-            Box::new(MemWalk::llco(&name, cache)),
-        ),
+        Kind::Llco => (VmSpec::single(&name), Box::new(MemWalk::llco(&name, cache))),
     }
 }
 

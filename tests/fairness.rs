@@ -39,11 +39,7 @@ fn equal_weights_share_equally() {
         sim.run_for(6 * SEC);
         let report = sim.report();
         let jain = report.jain_fairness();
-        assert!(
-            jain > 0.93,
-            "policy {} unfair: jain={jain}",
-            report.policy
-        );
+        assert!(jain > 0.93, "policy {} unfair: jain={jain}", report.policy);
         // Work conserving: the machine stays essentially saturated.
         assert!(report.utilisation() > 0.98, "machine left idle");
     }
@@ -61,7 +57,10 @@ fn weights_are_proportional() {
             },
             Box::new(MemWalk::lolcf("heavy", &spec)),
         )
-        .vm(VmSpec::single("light"), Box::new(MemWalk::lolcf("light", &spec)))
+        .vm(
+            VmSpec::single("light"),
+            Box::new(MemWalk::lolcf("light", &spec)),
+        )
         .build();
     sim.run_for(SEC);
     sim.reset_measurements();

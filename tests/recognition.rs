@@ -6,8 +6,8 @@ use aql_sched::hv::apptype::VcpuType;
 use aql_sched::hv::{MachineSpec, SimulationBuilder, VmSpec};
 use aql_sched::mem::{CacheSpec, MemProfile};
 use aql_sched::sim::time::{MS, SEC};
-use aql_sched::workloads::{build_app_vm, find_app, MemWalk, PhasedMemWalk};
 use aql_sched::workloads::phased::Phase;
+use aql_sched::workloads::{build_app_vm, find_app, MemWalk, PhasedMemWalk};
 
 /// Runs one catalog app consolidated (its vCPUs plus three co-runner
 /// walkers per pCPU) under AQL and returns the detected type of the
