@@ -13,10 +13,21 @@ cargo fmt --all --check
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+step "cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 step "cargo build --release"
 cargo build --release
 
 step "cargo test -q"
 cargo test -q --workspace
+
+step "sweep smoke: two-scenario quick matrix, 1 vs N threads byte-identical"
+cargo run --release -p aql_experiments --bin sweep -- \
+    --quick --scenarios vtrs-live,webfarm --threads 1 > /tmp/ci_sweep_t1.txt
+cargo run --release -p aql_experiments --bin sweep -- \
+    --quick --scenarios vtrs-live,webfarm > /tmp/ci_sweep_tn.txt
+diff /tmp/ci_sweep_t1.txt /tmp/ci_sweep_tn.txt
+rm -f /tmp/ci_sweep_t1.txt /tmp/ci_sweep_tn.txt
 
 step "all checks passed"

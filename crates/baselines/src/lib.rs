@@ -20,6 +20,8 @@
 //! manually configured each solution in order to obtain its best
 //! performance").
 
+#![warn(missing_docs)]
+
 use std::any::Any;
 
 use aql_hv::engine::Hypervisor;

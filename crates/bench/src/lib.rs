@@ -5,6 +5,8 @@
 //! job; the benches track the *cost* of producing each artifact and
 //! the micro-costs behind the §4.3 overhead claims).
 
+#![warn(missing_docs)]
+
 use aql_hv::{RunReport, SchedPolicy};
 
 use aql_experiments::Scenario;

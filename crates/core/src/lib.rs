@@ -21,6 +21,8 @@
 //! * [`aql`] — the [`aql::AqlSched`] scheduling policy tying it all to
 //!   the hypervisor's CPU pools.
 
+#![warn(missing_docs)]
+
 pub mod aql;
 pub mod calibration;
 pub mod clustering;

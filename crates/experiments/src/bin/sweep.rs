@@ -1,0 +1,132 @@
+//! `sweep` — fans a scenario × policy × seed matrix across cores and
+//! prints one aggregated comparison table.
+//!
+//! Usage:
+//!
+//! ```text
+//! sweep [options]
+//!
+//! options:
+//!   --scenarios a,b,c   catalog entries to sweep (default: all)
+//!   --policies a,b      policies to compare (default: all five)
+//!   --seeds N           replicates per scenario (default: 1)
+//!   --threads N         worker threads (default: all cores)
+//!   --quick             shorten warm-up/measurement (CI smoke)
+//!   --list              print the catalog and exit
+//!   --show NAME         print a scenario document and exit
+//! ```
+//!
+//! The emitted table is byte-identical across repeated same-seed runs
+//! and across `--threads` values; per-replicate seeds derive from the
+//! scenario names alone. The table is also saved as CSV under
+//! `results/`.
+
+use std::process::ExitCode;
+
+use aql_experiments::emit::results_dir;
+use aql_experiments::sweep::{run_sweep, SweepConfig};
+use aql_scenarios::catalog;
+
+fn usage() -> String {
+    format!(
+        "usage: sweep [--scenarios a,b,c] [--policies a,b] [--seeds N] \
+         [--threads N] [--quick] [--list] [--show NAME]\n\
+         scenarios: {}\n\
+         policies:  {}",
+        catalog::names().join(", "),
+        aql_scenarios::POLICY_NAMES.join(", ")
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<(Vec<String>, SweepConfig, bool), String> {
+    let mut cfg = SweepConfig::default();
+    let mut names: Vec<String> = catalog::names().iter().map(|s| s.to_string()).collect();
+    let mut it = args.iter();
+    let mut ran_meta = false;
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scenarios" => {
+                names = value("--scenarios")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--policies" => {
+                cfg.policies = value("--policies")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--seeds" => {
+                cfg.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|_| "--seeds needs a number".to_string())?;
+            }
+            "--threads" => {
+                cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?;
+            }
+            "--quick" => cfg.quick = true,
+            "--list" => {
+                for spec in catalog::load_all().map_err(|e| e.to_string())? {
+                    println!(
+                        "{:<16} {:>2} VM lines, {:>2} vCPUs on {:>2} pCPUs ({:.1}:1)",
+                        spec.name,
+                        spec.vms.len(),
+                        spec.total_vcpus(),
+                        spec.machine.sockets * spec.machine.cores_per_socket,
+                        spec.consolidation(),
+                    );
+                }
+                ran_meta = true;
+            }
+            "--show" => {
+                let name = value("--show")?;
+                let doc =
+                    catalog::document(&name).ok_or_else(|| format!("unknown scenario '{name}'"))?;
+                print!("{doc}");
+                ran_meta = true;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                ran_meta = true;
+            }
+            other => return Err(format!("unknown option '{other}'\n{}", usage())),
+        }
+    }
+    Ok((names, cfg, ran_meta))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (names, cfg, ran_meta) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if ran_meta {
+        return ExitCode::SUCCESS;
+    }
+    match run_sweep(&names, &cfg) {
+        Ok(outcome) => {
+            outcome.table.print();
+            match outcome.table.save_csv(&results_dir()) {
+                Ok(path) => println!("(saved {})", path.display()),
+                Err(e) => eprintln!("warning: could not save CSV: {e}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,10 +17,15 @@
 //!
 //! Beyond the paper, [`ablations`] isolates the design choices
 //! DESIGN.md calls out (lock fabric, PLE yield, vTRS window, BOOST,
-//! engine sub-step) and measures §4.3 scalability.
+//! engine sub-step) and measures §4.3 scalability, and [`sweep`] fans
+//! an open-ended scenario × policy × seed matrix (from
+//! `aql_scenarios`' declarative catalog) across OS threads — the
+//! `sweep` binary is its CLI.
 //!
 //! The shared machinery lives in [`runner`] (scenario construction and
 //! normalised measurement) and [`emit`] (table/CSV output).
+
+#![warn(missing_docs)]
 
 pub mod ablations;
 pub mod emit;
@@ -31,7 +36,9 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod runner;
+pub mod sweep;
 pub mod tables;
 
 pub use emit::Table;
 pub use runner::{Scenario, ScenarioVm};
+pub use sweep::{run_sweep, run_sweep_on, SweepConfig, SweepOutcome};

@@ -1,0 +1,391 @@
+//! The parallel sweep runner.
+//!
+//! Fans a scenario × policy × seed matrix across OS threads and
+//! aggregates every [`RunReport`] into one comparison table. This is
+//! the open-ended counterpart to the fixed figure modules: any
+//! catalog entry (or hand-written [`ScenarioSpec`]) joins the matrix
+//! without new code.
+//!
+//! # Determinism
+//!
+//! The emitted table is **byte-identical** across repeated runs and
+//! across thread counts:
+//!
+//! * every job's base seed is [`derive_seed`]`(scenario_name,
+//!   seed_index)` — a pure function of the matrix, never of time,
+//!   thread id or host;
+//! * workers claim jobs from an atomic cursor but store each result
+//!   at the job's *matrix index*; aggregation then reads the results
+//!   in matrix order, so floating-point reduction order is fixed;
+//! * the table contains no wall-clock, host or thread-count
+//!   information.
+//!
+//! The `sweep` binary (`cargo run --release -p aql_experiments --bin
+//! sweep`) is the CLI over this module.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use aql_hv::apptype::VcpuType;
+use aql_hv::RunReport;
+use aql_scenarios::{catalog, classes, policy_applicable, policy_for, run_seeded, ScenarioSpec};
+use aql_sim::rng::derive_seed;
+
+use crate::emit::{fmt_ratio, Table};
+use crate::runner::normalized;
+
+/// What to sweep and how to run it.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Policy names (see [`aql_scenarios::POLICY_NAMES`]). The first
+    /// occurrence of `xen-credit` is the normalisation baseline.
+    pub policies: Vec<String>,
+    /// Replicates per scenario; replicate `k` runs at base seed
+    /// `derive_seed(scenario_name, k)`.
+    pub seeds: usize,
+    /// Worker threads; `0` uses the host's available parallelism.
+    /// The choice never affects the emitted table.
+    pub threads: usize,
+    /// Shorten warm-up/measurement (smoke tests, CI).
+    pub quick: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            policies: aql_scenarios::POLICY_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            seeds: 1,
+            threads: 0,
+            quick: false,
+        }
+    }
+}
+
+/// One cell of the matrix: a scenario replicate under one policy.
+#[derive(Debug)]
+pub struct SweepJob {
+    /// Index of the scenario in the swept spec list.
+    pub scenario_index: usize,
+    /// Policy name.
+    pub policy: String,
+    /// Replicate index.
+    pub seed_index: usize,
+    /// Derived base seed for this replicate.
+    pub base_seed: u64,
+}
+
+/// A completed job with its measured report.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// The matrix cell that produced this report.
+    pub job: SweepJob,
+    /// The steady-state report; `None` when the policy cannot run on
+    /// the scenario's machine (e.g. vTurbo on a single-core host) —
+    /// the table renders such cells as `-`.
+    pub report: Option<RunReport>,
+}
+
+/// The full outcome: per-job reports (matrix order) plus the
+/// aggregated comparison table.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Every job's result, in matrix order (scenario-major, then
+    /// seed, then policy).
+    pub results: Vec<SweepResult>,
+    /// The aggregated comparison table.
+    pub table: Table,
+}
+
+/// Expands the matrix for a spec list: scenario-major, then seed,
+/// then policy — the fixed order aggregation relies on.
+pub fn plan(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Vec<SweepJob> {
+    let mut jobs = Vec::with_capacity(specs.len() * cfg.seeds * cfg.policies.len());
+    for (scenario_index, spec) in specs.iter().enumerate() {
+        for seed_index in 0..cfg.seeds {
+            let base_seed = derive_seed(&spec.name, seed_index as u64);
+            for policy in &cfg.policies {
+                jobs.push(SweepJob {
+                    scenario_index,
+                    policy: policy.clone(),
+                    seed_index,
+                    base_seed,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Runs the matrix over the given specs. Fails fast (before spawning
+/// any thread) on an unknown policy name.
+pub fn run_sweep_on(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Result<SweepOutcome, String> {
+    let specs: Vec<ScenarioSpec> = specs
+        .iter()
+        .cloned()
+        .map(|s| if cfg.quick { s.quick() } else { s })
+        .collect();
+    for p in &cfg.policies {
+        if !aql_scenarios::POLICY_NAMES.contains(&p.as_str()) {
+            return Err(format!(
+                "unknown policy '{p}' (known: {})",
+                aql_scenarios::POLICY_NAMES.join(", ")
+            ));
+        }
+    }
+    if specs.is_empty() || cfg.seeds == 0 || cfg.policies.is_empty() {
+        return Err("empty sweep matrix".to_string());
+    }
+    let jobs = plan(&specs, cfg);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.threads
+    }
+    .min(jobs.len());
+
+    // Workers claim jobs through an atomic cursor and park each
+    // report in the job's matrix slot: claiming order is racy,
+    // result placement is not.
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let spec = &specs[job.scenario_index];
+                if !policy_applicable(spec, &job.policy) {
+                    continue;
+                }
+                let policy = policy_for(spec, &job.policy).expect("policy names validated above");
+                let report = run_seeded(spec, policy, job.base_seed);
+                *slots[i].lock().expect("slot poisoned") = Some(report);
+            });
+        }
+    });
+
+    let results: Vec<SweepResult> = jobs
+        .into_iter()
+        .zip(slots)
+        .map(|(job, slot)| SweepResult {
+            job,
+            report: slot.into_inner().expect("slot poisoned"),
+        })
+        .collect();
+    let table = aggregate(&specs, cfg, &results);
+    Ok(SweepOutcome { results, table })
+}
+
+/// Resolves catalog names and runs the matrix over them.
+pub fn run_sweep(names: &[String], cfg: &SweepConfig) -> Result<SweepOutcome, String> {
+    let mut specs = Vec::with_capacity(names.len());
+    for name in names {
+        let spec = catalog::load(name).ok_or_else(|| {
+            format!(
+                "unknown scenario '{name}' (known: {})",
+                catalog::names().join(", ")
+            )
+        })?;
+        specs.push(spec);
+    }
+    run_sweep_on(&specs, cfg)
+}
+
+/// Mean of the per-VM normalised costs for VMs of `class` (`None` =
+/// all classes). Missing metrics (idle VMs) are skipped on both sides.
+fn mean_norm(
+    report: &RunReport,
+    baseline: &RunReport,
+    vm_classes: &[VcpuType],
+    class: Option<VcpuType>,
+) -> Option<f64> {
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (i, vm) in report.vms.iter().enumerate() {
+        if class.is_some_and(|c| vm_classes[i] != c) {
+            continue;
+        }
+        let cost = vm.metrics.time_cost();
+        let base = baseline.vms[i].metrics.time_cost();
+        if let Some(v) = normalized(cost, base) {
+            acc += v;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| acc / n as f64)
+}
+
+/// Averages an optional statistic over replicates; `None` unless
+/// every replicate produced a value.
+fn seed_mean(values: &[Option<f64>]) -> Option<f64> {
+    let mut acc = 0.0;
+    for v in values {
+        acc += (*v)?;
+    }
+    Some(acc / values.len() as f64)
+}
+
+/// Builds the aggregated comparison table: one row per scenario ×
+/// policy, normalised over that scenario's `xen-credit` replicate of
+/// the same seed (the paper's normalisation), averaged across seeds.
+fn aggregate(specs: &[ScenarioSpec], cfg: &SweepConfig, results: &[SweepResult]) -> Table {
+    let n_pol = cfg.policies.len();
+    let baseline_col = cfg.policies.iter().position(|p| p == "xen-credit");
+    let mut table = Table::new(
+        &format!(
+            "Sweep {} scenarios x {} policies ({} seed{})",
+            specs.len(),
+            n_pol,
+            cfg.seeds,
+            if cfg.seeds == 1 { "" } else { "s" }
+        ),
+        &[
+            "scenario", "policy", "norm", "IOInt", "ConSpin", "LLCF", "LoLCF", "LLCO", "util",
+            "jain",
+        ],
+    );
+    // results is matrix-ordered: scenario-major, then seed, then
+    // policy; index arithmetic recovers any cell.
+    let cell = |s: usize, k: usize, p: usize| &results[(s * cfg.seeds + k) * n_pol + p];
+    for (s, spec) in specs.iter().enumerate() {
+        let vm_classes = classes(spec);
+        for (p, policy) in cfg.policies.iter().enumerate() {
+            let per_seed = |class: Option<VcpuType>| -> Option<f64> {
+                let baseline_col = baseline_col?;
+                let vals: Vec<Option<f64>> = (0..cfg.seeds)
+                    .map(|k| {
+                        mean_norm(
+                            cell(s, k, p).report.as_ref()?,
+                            cell(s, k, baseline_col).report.as_ref()?,
+                            &vm_classes,
+                            class,
+                        )
+                    })
+                    .collect();
+                seed_mean(&vals)
+            };
+            let mut row = vec![spec.name.clone(), policy.clone(), fmt_ratio(per_seed(None))];
+            for class in VcpuType::ALL {
+                // Only normalise classes the scenario populates.
+                let present = vm_classes.contains(&class);
+                row.push(if present {
+                    fmt_ratio(per_seed(Some(class)))
+                } else {
+                    "-".to_string()
+                });
+            }
+            let stat = |f: &dyn Fn(&RunReport) -> f64| -> Option<f64> {
+                seed_mean(
+                    &(0..cfg.seeds)
+                        .map(|k| cell(s, k, p).report.as_ref().map(f))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            let fmt3 = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.3}"));
+            row.push(fmt3(stat(&RunReport::utilisation)));
+            row.push(fmt3(stat(&RunReport::jain_fairness)));
+            table.row(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(name: &str) -> ScenarioSpec {
+        ScenarioSpec::parse(&format!(
+            "scenario = {name}\n\
+             machine = sockets=1 cores=2 cache=i7-3770\n\
+             warmup_ms = 100\n\
+             measure_ms = 250\n\
+             vm web workload=io/heterogeneous/150\n\
+             vm walk-%i count=3 workload=walk/llcf|walk/llco|walk/lolcf\n"
+        ))
+        .unwrap()
+    }
+
+    fn tiny_cfg(threads: usize) -> SweepConfig {
+        SweepConfig {
+            policies: vec!["xen-credit".into(), "aql-sched".into()],
+            seeds: 2,
+            threads,
+            quick: false,
+        }
+    }
+
+    #[test]
+    fn matrix_order_is_scenario_seed_policy() {
+        let specs = [tiny("a"), tiny("b")];
+        let jobs = plan(&specs, &tiny_cfg(1));
+        assert_eq!(jobs.len(), 2 * 2 * 2);
+        assert_eq!(jobs[0].scenario_index, 0);
+        assert_eq!(jobs[0].policy, "xen-credit");
+        assert_eq!(jobs[1].policy, "aql-sched");
+        assert_eq!(jobs[2].seed_index, 1);
+        assert_eq!(jobs[4].scenario_index, 1);
+        // Seeds derive from the scenario name alone.
+        assert_eq!(jobs[0].base_seed, derive_seed("a", 0));
+        assert_eq!(jobs[4].base_seed, derive_seed("b", 0));
+        assert_ne!(jobs[0].base_seed, jobs[2].base_seed);
+    }
+
+    #[test]
+    fn sweep_is_byte_identical_across_thread_counts() {
+        let specs = [tiny("det-a"), tiny("det-b")];
+        let serial = run_sweep_on(&specs, &tiny_cfg(1)).unwrap();
+        let parallel = run_sweep_on(&specs, &tiny_cfg(4)).unwrap();
+        let auto = run_sweep_on(&specs, &tiny_cfg(0)).unwrap();
+        assert_eq!(serial.table.render(), parallel.table.render());
+        assert_eq!(serial.table.render(), auto.table.render());
+        // And across repeated runs at the same thread count.
+        let again = run_sweep_on(&specs, &tiny_cfg(4)).unwrap();
+        assert_eq!(parallel.table.render(), again.table.render());
+    }
+
+    #[test]
+    fn baseline_normalisation_is_exactly_one() {
+        let specs = [tiny("norm")];
+        let out = run_sweep_on(&specs, &tiny_cfg(2)).unwrap();
+        let xen_row = &out.table.rows[0];
+        assert_eq!(xen_row[1], "xen-credit");
+        assert_eq!(xen_row[2], "1.00", "self-normalisation");
+        // Classes absent from the scenario stay unpopulated.
+        assert_eq!(xen_row[4], "-", "no ConSpin VM in the tiny scenario");
+    }
+
+    #[test]
+    fn unknown_names_fail_fast() {
+        assert!(run_sweep(&["doom".to_string()], &SweepConfig::default()).is_err());
+        let bad = SweepConfig {
+            policies: vec!["cfs".into()],
+            ..SweepConfig::default()
+        };
+        assert!(run_sweep_on(&[tiny("x")], &bad).is_err());
+        let empty = SweepConfig {
+            seeds: 0,
+            ..SweepConfig::default()
+        };
+        assert!(run_sweep_on(&[tiny("x")], &empty).is_err());
+    }
+
+    #[test]
+    fn quick_mode_shortens_runs() {
+        let specs = [tiny("q")];
+        let cfg = SweepConfig {
+            policies: vec!["xen-credit".into()],
+            seeds: 1,
+            threads: 1,
+            quick: true,
+        };
+        let out = run_sweep_on(&specs, &cfg).unwrap();
+        // quick() pins the window to 300 ms warm-up + 1 s measured;
+        // the report must reflect the overridden window.
+        let report = out.results[0].report.as_ref().unwrap();
+        assert_eq!(report.sim_ns, 1000 * aql_sim::time::MS);
+    }
+}

@@ -43,6 +43,15 @@ impl VcpuType {
         }
     }
 
+    /// Parses the paper's notation back into a type (the inverse of
+    /// [`VcpuType::label`]), case-insensitively. Returns `None` for
+    /// unknown labels.
+    pub fn from_label(label: &str) -> Option<Self> {
+        VcpuType::ALL
+            .into_iter()
+            .find(|t| t.label().eq_ignore_ascii_case(label))
+    }
+
     /// Whether the type is quantum-length agnostic per the calibration
     /// (§3.4.2): `LoLCF` and `LLCO` are; they serve as cluster fillers.
     pub fn quantum_agnostic(self) -> bool {
@@ -67,6 +76,15 @@ mod tests {
         assert_eq!(VcpuType::Llcf.to_string(), "LLCF");
         assert_eq!(VcpuType::Lolcf.to_string(), "LoLCF");
         assert_eq!(VcpuType::Llco.to_string(), "LLCO");
+    }
+
+    #[test]
+    fn from_label_inverts_label() {
+        for t in VcpuType::ALL {
+            assert_eq!(VcpuType::from_label(t.label()), Some(t));
+            assert_eq!(VcpuType::from_label(&t.label().to_lowercase()), Some(t));
+        }
+        assert_eq!(VcpuType::from_label("gpu"), None);
     }
 
     #[test]

@@ -19,19 +19,18 @@
 //!
 //! The engine is layered into focused modules behind this facade:
 //!
-//! * [`machine`](self::machine) — [`Hypervisor`] + [`PcpuState`]: the
-//!   machine state policies reconfigure.
-//! * [`dispatch`](self::dispatch) — the context-switch layer. Every
-//!   context switch, for every policy, is described by an explicit
-//!   [`DispatchDecision`] so measured policy deltas are attributable
-//!   to configuration, never to divergent code paths.
-//! * [`exec`](self::exec) — the bounded sub-step execution loop.
-//! * [`monitor`](self::monitor) — event handling: credit ticks, PMU
-//!   sampling and the [`SchedPolicy::on_monitor`] plumbing, guest
-//!   timers.
-//! * [`balance`](self::balance) — idle stealing and periodic
-//!   run-queue balancing within pools.
-//! * [`builder`](self::builder) — [`SimulationBuilder`].
+//! * `machine` — [`Hypervisor`] + [`PcpuState`]: the machine state
+//!   policies reconfigure.
+//! * `dispatch` — the context-switch layer. Every context switch, for
+//!   every policy, is described by an explicit [`DispatchDecision`] so
+//!   measured policy deltas are attributable to configuration, never
+//!   to divergent code paths.
+//! * `exec` — the bounded sub-step execution loop.
+//! * `monitor` — event handling: credit ticks, PMU sampling and the
+//!   [`SchedPolicy::on_monitor`] plumbing, guest timers.
+//! * `balance` — idle stealing and periodic run-queue balancing
+//!   within pools.
+//! * `builder` — [`SimulationBuilder`].
 
 mod balance;
 mod builder;
@@ -147,6 +146,18 @@ impl Simulation {
     /// Runs for `dur` nanoseconds from the current time.
     pub fn run_for(&mut self, dur: u64) {
         self.run_until(self.now + dur);
+    }
+
+    /// Runs the standard measurement protocol: `warmup_ns` of
+    /// execution, a measurement reset, `measure_ns` of measured
+    /// execution, and the steady-state report. Every example, scenario
+    /// and figure uses this exact sequence, so reports are comparable
+    /// across all of them.
+    pub fn run_measured(&mut self, warmup_ns: u64, measure_ns: u64) -> crate::RunReport {
+        self.run_for(warmup_ns);
+        self.reset_measurements();
+        self.run_for(measure_ns);
+        self.report()
     }
 
     /// Clears all measurement state (workload metrics, CPU accounting,

@@ -75,6 +75,19 @@ impl SimulationBuilder {
         self
     }
 
+    /// Adds a batch of VMs in iteration order; equivalent to chaining
+    /// [`SimulationBuilder::vm`] per element. This is the entry point
+    /// the scenario layer uses after expanding a declarative spec.
+    pub fn vms<I>(mut self, vms: I) -> Self
+    where
+        I: IntoIterator<Item = (VmSpec, Box<dyn GuestWorkload>)>,
+    {
+        for (spec, wl) in vms {
+            self = self.vm(spec, wl);
+        }
+        self
+    }
+
     /// Sets the scheduling policy (defaults to native Xen 30 ms).
     pub fn policy(mut self, policy: Box<dyn SchedPolicy>) -> Self {
         self.policy = Some(policy);

@@ -20,6 +20,8 @@
 //! * [`pmu::PmuCounters`] — the per-vCPU counters vTRS samples every
 //!   monitoring period.
 
+#![warn(missing_docs)]
+
 pub mod exec;
 pub mod llc;
 pub mod pmu;

@@ -15,6 +15,8 @@
 //! same inputs produce bit-identical results. No wall-clock time, no
 //! hash-map iteration order, no global state.
 
+#![warn(missing_docs)]
+
 pub mod queue;
 pub mod rng;
 pub mod stats;

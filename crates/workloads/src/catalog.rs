@@ -140,15 +140,7 @@ pub fn build_app_vm(
     let wl: Box<dyn GuestWorkload> = match name {
         // --- IO ---
         "SPECweb2009" => Box::new(IoServer::new(name, IoServerCfg::heterogeneous(120.0), seed)),
-        "SPECmail2009" => Box::new(IoServer::new(
-            name,
-            IoServerCfg {
-                heavy_every: Some(15),
-                heavy_service_ns: 12_000 * US,
-                ..IoServerCfg::exclusive(200.0)
-            },
-            seed,
-        )),
+        "SPECmail2009" => Box::new(IoServer::new(name, IoServerCfg::mail(200.0), seed)),
         "wordpress" => Box::new(IoServer::new(name, IoServerCfg::heterogeneous(80.0), seed)),
         // --- ConSpin ---
         "kernbench" => Box::new(SpinJob::new(name, spin_cfg(4, 40, 6), seed)),

@@ -85,6 +85,18 @@ impl IoServerCfg {
             ..base
         }
     }
+
+    /// The SPECmail2009-style regime: exclusive IO with a heavy
+    /// (12 ms) delivery burst every 15th request. Shared by the
+    /// catalog's `SPECmail2009` model and the `io/mail/<rate>`
+    /// workload token.
+    pub fn mail(arrival_rate_hz: f64) -> Self {
+        IoServerCfg {
+            heavy_every: Some(15),
+            heavy_service_ns: 12_000 * US,
+            ..IoServerCfg::exclusive(arrival_rate_hz)
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -19,12 +19,18 @@
 //! * [`idle`] — a permanently blocked VM, for padding scenarios.
 //! * [`catalog`] — named SPEC CPU2006 / PARSEC / SPECweb / SPECmail
 //!   models with the ground-truth types of the paper's Table 3.
+//! * [`spec`] — declarative [`WorkloadSpec`] tokens
+//!   (`io/heterogeneous/120`, `walk/llcf`, `app/mcf`, …): the
+//!   vocabulary scenario files use to name any of the above.
+
+#![warn(missing_docs)]
 
 pub mod catalog;
 pub mod idle;
 pub mod ioserver;
 pub mod memwalk;
 pub mod phased;
+pub mod spec;
 pub mod spinjob;
 
 pub use catalog::{all_apps, build_app_vm, find_app, AppEntry};
@@ -32,4 +38,5 @@ pub use idle::IdleWorkload;
 pub use ioserver::{IoServer, IoServerCfg};
 pub use memwalk::MemWalk;
 pub use phased::PhasedMemWalk;
+pub use spec::{IoRegime, WorkloadSpec};
 pub use spinjob::{SpinJob, SpinJobCfg};

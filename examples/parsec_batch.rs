@@ -2,6 +2,10 @@
 //! application catalog colocated with cache trashers on a 2-socket
 //! host. Shows how AQL_Sched clusters the vCPUs and what it buys.
 //!
+//! The machine/VM population comes from the declarative scenario
+//! catalog (`aql_sched::scenarios::catalog::PARSEC_BATCH`); this
+//! example only runs it and inspects the resulting cluster plan.
+//!
 //! Run with:
 //!
 //! ```text
@@ -11,34 +15,16 @@
 use aql_sched::baselines::xen_credit;
 use aql_sched::core::AqlSched;
 use aql_sched::hv::workload::WorkloadMetrics;
-use aql_sched::hv::{MachineSpec, RunReport, SchedPolicy, SimulationBuilder, VmSpec};
-use aql_sched::mem::CacheSpec;
-use aql_sched::sim::time::SEC;
-use aql_sched::workloads::{build_app_vm, MemWalk};
+use aql_sched::hv::{RunReport, SchedPolicy};
+use aql_sched::scenarios::{build_sim, catalog, ScenarioSpec};
 
 const JOBS: [&str; 2] = ["fluidanimate", "streamcluster"];
 
-fn build(policy: Box<dyn SchedPolicy>) -> aql_sched::hv::Simulation {
-    let cache = CacheSpec::i7_3770();
-    let machine = MachineSpec::custom("batch", 2, 4, cache);
-    let mut b = SimulationBuilder::new(machine).seed(8).policy(policy);
-    for (i, job) in JOBS.iter().enumerate() {
-        let (mut spec, wl) = build_app_vm(job, &cache, 40 + i as u64).expect("catalog");
-        spec.weight = 256 * spec.vcpus as u32;
-        b = b.vm(spec, wl);
-    }
-    for i in 0..16 {
-        let name = format!("tenant-{i}");
-        let wl = match i % 2 {
-            0 => MemWalk::llcf(&name, &cache),
-            _ => MemWalk::llco(&name, &cache),
-        };
-        b = b.vm(VmSpec::single(&name), Box::new(wl));
-    }
-    let mut sim = b.build();
-    sim.run_for(SEC);
-    sim.reset_measurements();
-    sim.run_for(6 * SEC);
+fn run_sim(spec: &ScenarioSpec, policy: Box<dyn SchedPolicy>) -> aql_sched::hv::Simulation {
+    let mut sim = build_sim(spec, policy);
+    // The cluster plan is inspected afterwards, so keep the simulation
+    // and let the caller pull reports off it.
+    let _ = sim.run_measured(spec.warmup_ns, spec.measure_ns);
     sim
 }
 
@@ -50,10 +36,11 @@ fn job_items(report: &RunReport, name: &str) -> u64 {
 }
 
 fn main() {
+    let spec = catalog::load("parsec-batch").expect("catalog entry");
     println!("running under native Xen Credit...");
-    let xen = build(Box::new(xen_credit())).report();
+    let xen = run_sim(&spec, Box::new(xen_credit())).report();
     println!("running under AQL_Sched...");
-    let aql_sim = build(Box::new(AqlSched::paper_defaults()));
+    let aql_sim = run_sim(&spec, Box::new(AqlSched::paper_defaults()));
     let aql = aql_sim.report();
 
     println!();

@@ -2,6 +2,10 @@
 //! 4-core host, compared under native Xen Credit (fixed 30 ms quantum)
 //! and under AQL_Sched (adaptive per-type quanta).
 //!
+//! The machine/VM population comes from the declarative scenario
+//! catalog (`aql_sched::scenarios::catalog::QUICKSTART`); this example
+//! only runs it and formats the comparison.
+//!
 //! Run with:
 //!
 //! ```text
@@ -11,71 +15,14 @@
 use aql_sched::baselines::xen_credit;
 use aql_sched::core::AqlSched;
 use aql_sched::hv::workload::WorkloadMetrics;
-use aql_sched::hv::{MachineSpec, RunReport, SchedPolicy, SimulationBuilder, VmSpec};
-use aql_sched::mem::CacheSpec;
-use aql_sched::sim::time::SEC;
-use aql_sched::workloads::{IoServer, IoServerCfg, MemWalk, SpinJob, SpinJobCfg};
-
-/// Builds the demo machine: 16 vCPUs on 4 cores — the 4-to-1
-/// consolidation the paper observes is typical in clouds.
-fn run(policy: Box<dyn SchedPolicy>) -> RunReport {
-    let cache = CacheSpec::i7_3770();
-    let machine = MachineSpec::custom("quickstart", 1, 4, cache);
-    let mut b = SimulationBuilder::new(machine).seed(1).policy(policy);
-    // A latency-critical web server that also runs CGI scripts.
-    for i in 0..4 {
-        let name = format!("web-{i}");
-        b = b.vm(
-            VmSpec::single(&name),
-            Box::new(IoServer::new(
-                &name,
-                IoServerCfg::heterogeneous(120.0),
-                10 + i,
-            )),
-        );
-    }
-    // A parallel, spin-synchronised job (PARSEC-like).
-    b = b.vm(
-        VmSpec {
-            weight: 1024,
-            ..VmSpec::smp("parsec", 4)
-        },
-        Box::new(SpinJob::new("parsec", SpinJobCfg::kernbench(4), 20)),
-    );
-    // Cache-sensitive and cache-trashing batch work.
-    for i in 0..4 {
-        let name = format!("llcf-{i}");
-        b = b.vm(
-            VmSpec::single(&name),
-            Box::new(MemWalk::llcf(&name, &cache)),
-        );
-    }
-    for i in 0..2 {
-        let name = format!("llco-{i}");
-        b = b.vm(
-            VmSpec::single(&name),
-            Box::new(MemWalk::llco(&name, &cache)),
-        );
-    }
-    for i in 0..2 {
-        let name = format!("lolcf-{i}");
-        b = b.vm(
-            VmSpec::single(&name),
-            Box::new(MemWalk::lolcf(&name, &cache)),
-        );
-    }
-    let mut sim = b.build();
-    sim.run_for(SEC); // warm-up
-    sim.reset_measurements();
-    sim.run_for(6 * SEC);
-    sim.report()
-}
+use aql_sched::scenarios::catalog;
 
 fn main() {
+    let spec = catalog::load("quickstart").expect("catalog entry");
     println!("running under native Xen Credit (30 ms quantum)...");
-    let xen = run(Box::new(xen_credit()));
+    let xen = aql_sched::scenarios::run(&spec, Box::new(xen_credit()));
     println!("running under AQL_Sched (adaptive quanta)...");
-    let aql = run(Box::new(AqlSched::paper_defaults()));
+    let aql = aql_sched::scenarios::run(&spec, Box::new(AqlSched::paper_defaults()));
 
     println!();
     println!(

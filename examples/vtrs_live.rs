@@ -2,6 +2,10 @@
 //! changes its class every two seconds, with the recognised type and
 //! cursor averages printed every monitoring window.
 //!
+//! The machine/VM population comes from the declarative scenario
+//! catalog (`aql_sched::scenarios::catalog::VTRS_LIVE`); this example
+//! builds it and steps through the recognition windows by hand.
+//!
 //! Run with:
 //!
 //! ```text
@@ -9,36 +13,12 @@
 //! ```
 
 use aql_sched::core::{AqlSched, AqlSchedConfig};
-use aql_sched::hv::{MachineSpec, SimulationBuilder, VmSpec};
-use aql_sched::mem::{CacheSpec, MemProfile};
-use aql_sched::sim::time::{MS, SEC};
-use aql_sched::workloads::phased::Phase;
-use aql_sched::workloads::PhasedMemWalk;
+use aql_sched::scenarios::{build_sim, catalog};
+use aql_sched::sim::time::MS;
 
 fn main() {
-    let cache = CacheSpec::i7_3770();
-    let machine = MachineSpec::custom("live", 1, 1, cache);
-    let shape_shifter = PhasedMemWalk::new(
-        "shape-shifter",
-        vec![
-            Phase {
-                duration_ns: 2 * SEC,
-                profile: MemProfile::lolcf(&cache),
-            },
-            Phase {
-                duration_ns: 2 * SEC,
-                profile: MemProfile::llcf(&cache),
-            },
-            Phase {
-                duration_ns: 2 * SEC,
-                profile: MemProfile::llco(&cache),
-            },
-        ],
-    );
-    let mut sim = SimulationBuilder::new(machine)
-        .policy(Box::new(AqlSched::new(AqlSchedConfig::default())))
-        .vm(VmSpec::single("shape-shifter"), Box::new(shape_shifter))
-        .build();
+    let spec = catalog::load("vtrs-live").expect("catalog entry");
+    let mut sim = build_sim(&spec, Box::new(AqlSched::new(AqlSchedConfig::default())));
 
     println!(
         "{:>8}  {:>7} {:>8} {:>6} {:>6} {:>6}  recognised type",

@@ -3,49 +3,22 @@
 //! latency percentiles under every scheduling policy, including the
 //! published comparators.
 //!
+//! The machine/VM population comes from the declarative scenario
+//! catalog (`aql_sched::scenarios::catalog::WEBFARM`); the sweep
+//! runner (`cargo run --release -p aql_experiments --bin sweep`) runs
+//! the same entry inside the full scenario × policy matrix.
+//!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example webfarm_consolidation
 //! ```
 
-use aql_sched::baselines::{xen_credit, Microsliced, VSlicer, VTurbo};
-use aql_sched::core::AqlSched;
 use aql_sched::hv::workload::WorkloadMetrics;
-use aql_sched::hv::{MachineSpec, SchedPolicy, SimulationBuilder, VmSpec};
-use aql_sched::mem::CacheSpec;
-use aql_sched::sim::time::SEC;
-use aql_sched::workloads::{IoServer, IoServerCfg, MemWalk};
+use aql_sched::scenarios::{catalog, policy_for, run, ScenarioSpec};
 
-fn run(policy: Box<dyn SchedPolicy>) -> (String, f64, f64, f64) {
-    let cache = CacheSpec::i7_3770();
-    let machine = MachineSpec::custom("webfarm", 1, 4, cache);
-    let mut b = SimulationBuilder::new(machine).seed(3).policy(policy);
-    for i in 0..4 {
-        let name = format!("web-{i}");
-        b = b.vm(
-            VmSpec::single(&name),
-            Box::new(IoServer::new(
-                &name,
-                IoServerCfg::heterogeneous(150.0),
-                30 + i,
-            )),
-        );
-    }
-    for i in 0..12 {
-        let name = format!("batch-{i}");
-        let wl = match i % 3 {
-            0 => MemWalk::llcf(&name, &cache),
-            1 => MemWalk::llco(&name, &cache),
-            _ => MemWalk::lolcf(&name, &cache),
-        };
-        b = b.vm(VmSpec::single(&name), Box::new(wl));
-    }
-    let mut sim = b.build();
-    sim.run_for(SEC);
-    sim.reset_measurements();
-    sim.run_for(6 * SEC);
-    let report = sim.report();
+fn run_policy(spec: &ScenarioSpec, policy_name: &str) -> (String, f64, f64, f64) {
+    let report = run(spec, policy_for(spec, policy_name).expect("known policy"));
     let policy_name = report.policy.clone();
     // Aggregate the web VMs' latency distribution.
     let mut mean = 0.0;
@@ -64,21 +37,22 @@ fn run(policy: Box<dyn SchedPolicy>) -> (String, f64, f64, f64) {
 }
 
 fn main() {
-    let webs = ["web-0", "web-1", "web-2", "web-3"];
-    let policies: Vec<Box<dyn SchedPolicy>> = vec![
-        Box::new(xen_credit()),
-        Box::new(VSlicer::new(&webs)),
-        Box::new(VTurbo::new(&webs)),
-        Box::new(Microsliced::default()),
-        Box::new(AqlSched::paper_defaults()),
-    ];
+    let spec = catalog::load("webfarm").expect("catalog entry");
     println!(
         "{:<24} {:>12} {:>12} {:>12}",
         "policy", "mean (ms)", "p95 (ms)", "p99 (ms)"
     );
     println!("{}", "-".repeat(64));
-    for p in policies {
-        let (name, mean, p95, p99) = run(p);
+    // vSlicer/vTurbo receive the IOInt VM names automatically — the
+    // scenario layer stands in for the paper's manual tagging.
+    for name in [
+        "xen-credit",
+        "vslicer",
+        "vturbo",
+        "microsliced",
+        "aql-sched",
+    ] {
+        let (name, mean, p95, p99) = run_policy(&spec, name);
         println!("{name:<24} {mean:>12.2} {p95:>12.2} {p99:>12.2}");
     }
     println!();

@@ -16,15 +16,21 @@
 //!   two-level clustering, and the AQL_Sched policy.
 //! * [`baselines`] — Xen Credit, Microsliced, vSlicer and vTurbo
 //!   comparator policies.
-//! * [`experiments`] — scenario builders and the figure/table harness.
+//! * [`scenarios`] — the declarative scenario format, the named
+//!   scenario catalog and spec → simulation builders.
+//! * [`experiments`] — scenario builders, the figure/table harness
+//!   and the parallel sweep runner.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for
 //! the full system inventory.
+
+#![warn(missing_docs)]
 
 pub use aql_baselines as baselines;
 pub use aql_core as core;
 pub use aql_experiments as experiments;
 pub use aql_hv as hv;
 pub use aql_mem as mem;
+pub use aql_scenarios as scenarios;
 pub use aql_sim as sim;
 pub use aql_workloads as workloads;
