@@ -30,4 +30,12 @@ cargo run --release -p aql_experiments --bin sweep -- \
 diff /tmp/ci_sweep_t1.txt /tmp/ci_sweep_tn.txt
 rm -f /tmp/ci_sweep_t1.txt /tmp/ci_sweep_tn.txt
 
+step "perf smoke: full catalog in both time modes (asserts byte-identical tables, tracks BENCH_sweep.json)"
+# `--time-mode both` fails the build if the dense oracle and the
+# adaptive time-advance disagree on a single table byte; the timing
+# comparison lands in BENCH_sweep.json so the perf trajectory is
+# visible PR over PR.
+cargo run --release -p aql_experiments --bin sweep -- \
+    --time-mode both --bench-json BENCH_sweep.json > /dev/null
+
 step "all checks passed"

@@ -12,6 +12,12 @@
 //!   --seeds N           replicates per scenario (default: 1)
 //!   --threads N         worker threads (default: all cores)
 //!   --quick             shorten warm-up/measurement (CI smoke)
+//!   --time-mode M       adaptive (default), dense, or both: `both`
+//!                       runs the matrix under each mode, asserts the
+//!                       aggregate tables are byte-identical, and
+//!                       reports the wall-clock speedup
+//!   --bench-json PATH   with `both`, write the timing comparison as
+//!                       JSON (the CI perf-smoke writes BENCH_sweep.json)
 //!   --list              print the catalog and exit
 //!   --show NAME         print a scenario document and exit
 //! ```
@@ -24,13 +30,14 @@
 use std::process::ExitCode;
 
 use aql_experiments::emit::results_dir;
-use aql_experiments::sweep::{run_sweep, SweepConfig};
-use aql_scenarios::catalog;
+use aql_experiments::sweep::{run_sweep, SweepConfig, SweepOutcome};
+use aql_scenarios::{catalog, TimeMode};
 
 fn usage() -> String {
     format!(
         "usage: sweep [--scenarios a,b,c] [--policies a,b] [--seeds N] \
-         [--threads N] [--quick] [--list] [--show NAME]\n\
+         [--threads N] [--quick] [--time-mode adaptive|dense|both] \
+         [--bench-json PATH] [--list] [--show NAME]\n\
          scenarios: {}\n\
          policies:  {}",
         catalog::names().join(", "),
@@ -38,11 +45,79 @@ fn usage() -> String {
     )
 }
 
-fn parse_args(args: &[String]) -> Result<(Vec<String>, SweepConfig, bool), String> {
+/// JSON-escapes a scenario name (the catalog only uses identifier-safe
+/// characters, but hand-written specs may not).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders the dense-vs-adaptive timing comparison as a JSON document.
+fn bench_json(
+    names: &[String],
+    cfg: &SweepConfig,
+    dense: &SweepOutcome,
+    adaptive: &SweepOutcome,
+) -> String {
+    let dense_by_scenario = dense.wall_ns_by_scenario();
+    let adaptive_by_scenario = adaptive.wall_ns_by_scenario();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut per_scenario = String::new();
+    for (i, name) in names.iter().enumerate() {
+        let d = dense_by_scenario.get(i).copied().unwrap_or(0);
+        let a = adaptive_by_scenario.get(i).copied().unwrap_or(0);
+        if i > 0 {
+            per_scenario.push(',');
+        }
+        per_scenario.push_str(&format!(
+            "\n    {{\"scenario\": \"{}\", \"dense_ms\": {:.3}, \"adaptive_ms\": {:.3}, \
+             \"speedup\": {:.3}}}",
+            json_escape(name),
+            ms(d),
+            ms(a),
+            if a > 0 { d as f64 / a as f64 } else { 0.0 }
+        ));
+    }
+    let d = dense.total_wall_ns();
+    let a = adaptive.total_wall_ns();
+    format!(
+        "{{\n  \"scenarios\": {},\n  \"policies\": {},\n  \"seeds\": {},\n  \
+         \"quick\": {},\n  \"dense_ms\": {:.3},\n  \"adaptive_ms\": {:.3},\n  \
+         \"speedup\": {:.3},\n  \"per_scenario\": [{}\n  ]\n}}\n",
+        names.len(),
+        cfg.policies.len(),
+        cfg.seeds,
+        cfg.quick,
+        ms(d),
+        ms(a),
+        if a > 0 { d as f64 / a as f64 } else { 0.0 },
+        per_scenario
+    )
+}
+
+/// Parsed command line: scenario names, sweep config, whether a
+/// metadata action already ran, and the mode-comparison request
+/// (`--time-mode both` + optional JSON output path).
+struct Cli {
+    names: Vec<String>,
+    cfg: SweepConfig,
+    ran_meta: bool,
+    compare_modes: bool,
+    bench_json: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cfg = SweepConfig::default();
     let mut names: Vec<String> = catalog::names().iter().map(|s| s.to_string()).collect();
     let mut it = args.iter();
     let mut ran_meta = false;
+    let mut compare_modes = false;
+    let mut bench_json = None;
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
             it.next()
@@ -73,6 +148,17 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, SweepConfig, bool), Strin
                     .map_err(|_| "--threads needs a number".to_string())?;
             }
             "--quick" => cfg.quick = true,
+            "--time-mode" => match value("--time-mode")?.as_str() {
+                "adaptive" => cfg.time_mode = TimeMode::Adaptive,
+                "dense" => cfg.time_mode = TimeMode::Dense,
+                "both" => compare_modes = true,
+                other => {
+                    return Err(format!(
+                        "--time-mode must be adaptive, dense or both, got '{other}'"
+                    ))
+                }
+            },
+            "--bench-json" => bench_json = Some(value("--bench-json")?),
             "--list" => {
                 for spec in catalog::load_all().map_err(|e| e.to_string())? {
                     println!(
@@ -100,22 +186,85 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, SweepConfig, bool), Strin
             other => return Err(format!("unknown option '{other}'\n{}", usage())),
         }
     }
-    Ok((names, cfg, ran_meta))
+    if bench_json.is_some() && !compare_modes {
+        return Err("--bench-json requires --time-mode both (it records the \
+                    dense-vs-adaptive comparison)"
+            .to_string());
+    }
+    Ok(Cli {
+        names,
+        cfg,
+        ran_meta,
+        compare_modes,
+        bench_json,
+    })
+}
+
+/// `--time-mode both`: sweep the matrix under each mode, assert the
+/// aggregate tables are byte-identical (the conformance gate), report
+/// the wall-clock comparison and optionally write it as JSON.
+fn run_mode_comparison(cli: &Cli) -> Result<(), String> {
+    let dense_cfg = SweepConfig {
+        time_mode: TimeMode::Dense,
+        ..cli.cfg.clone()
+    };
+    let adaptive_cfg = SweepConfig {
+        time_mode: TimeMode::Adaptive,
+        ..cli.cfg.clone()
+    };
+    println!(
+        "sweeping {} scenarios under TimeMode::Dense ...",
+        cli.names.len()
+    );
+    let dense = run_sweep(&cli.names, &dense_cfg)?;
+    println!(
+        "sweeping {} scenarios under TimeMode::Adaptive ...",
+        cli.names.len()
+    );
+    let adaptive = run_sweep(&cli.names, &adaptive_cfg)?;
+    if dense.table.render() != adaptive.table.render() {
+        return Err(
+            "conformance violation: dense and adaptive aggregate tables differ".to_string(),
+        );
+    }
+    adaptive.table.print();
+    let d_ms = dense.total_wall_ns() as f64 / 1e6;
+    let a_ms = adaptive.total_wall_ns() as f64 / 1e6;
+    println!(
+        "\ntables byte-identical across time modes; simulation wall time \
+         dense {d_ms:.0} ms, adaptive {a_ms:.0} ms ({:.2}x)",
+        if a_ms > 0.0 { d_ms / a_ms } else { 0.0 }
+    );
+    if let Some(path) = &cli.bench_json {
+        let doc = bench_json(&cli.names, &cli.cfg, &dense, &adaptive);
+        std::fs::write(path, doc).map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("(saved {path})");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (names, cfg, ran_meta) = match parse_args(&args) {
+    let cli = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if ran_meta {
+    if cli.ran_meta {
         return ExitCode::SUCCESS;
     }
-    match run_sweep(&names, &cfg) {
+    if cli.compare_modes {
+        return match run_mode_comparison(&cli) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match run_sweep(&cli.names, &cli.cfg) {
         Ok(outcome) => {
             outcome.table.print();
             match outcome.table.save_csv(&results_dir()) {

@@ -27,8 +27,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use aql_hv::apptype::VcpuType;
-use aql_hv::RunReport;
-use aql_scenarios::{catalog, classes, policy_applicable, policy_for, run_seeded, ScenarioSpec};
+use aql_hv::{RunReport, TimeMode};
+use aql_scenarios::{catalog, classes, policy_applicable, policy_for, run_seeded_in, ScenarioSpec};
 use aql_sim::rng::derive_seed;
 
 use crate::emit::{fmt_ratio, Table};
@@ -48,6 +48,10 @@ pub struct SweepConfig {
     pub threads: usize,
     /// Shorten warm-up/measurement (smoke tests, CI).
     pub quick: bool,
+    /// Time-advance mode every cell runs under. The table is
+    /// byte-identical across modes; only the recorded wall times
+    /// differ. Defaults to [`TimeMode::Adaptive`].
+    pub time_mode: TimeMode,
 }
 
 impl Default for SweepConfig {
@@ -60,6 +64,7 @@ impl Default for SweepConfig {
             seeds: 1,
             threads: 0,
             quick: false,
+            time_mode: TimeMode::default(),
         }
     }
 }
@@ -86,6 +91,12 @@ pub struct SweepResult {
     /// the scenario's machine (e.g. vTurbo on a single-core host) —
     /// the table renders such cells as `-`.
     pub report: Option<RunReport>,
+    /// Wall-clock time this cell took to simulate, in nanoseconds
+    /// (zero for inapplicable cells). Wall time never enters the
+    /// aggregated table — it would break byte-stability — but perf
+    /// tooling (`sweep --time-mode both`, `BENCH_sweep.json`) sums it
+    /// per scenario to track the engine's speed.
+    pub wall_ns: u64,
 }
 
 /// The full outcome: per-job reports (matrix order) plus the
@@ -97,6 +108,31 @@ pub struct SweepOutcome {
     pub results: Vec<SweepResult>,
     /// The aggregated comparison table.
     pub table: Table,
+}
+
+impl SweepOutcome {
+    /// Total simulation wall time across all cells, in nanoseconds.
+    /// (Not elapsed time: cells running on parallel workers overlap.)
+    pub fn total_wall_ns(&self) -> u64 {
+        self.results.iter().map(|r| r.wall_ns).sum()
+    }
+
+    /// Per-scenario simulation wall time in matrix (scenario) order:
+    /// element `i` is scenario `i`'s wall-time sum over its seeds and
+    /// policies.
+    pub fn wall_ns_by_scenario(&self) -> Vec<u64> {
+        let n = self
+            .results
+            .iter()
+            .map(|r| r.job.scenario_index + 1)
+            .max()
+            .unwrap_or(0);
+        let mut acc = vec![0u64; n];
+        for r in &self.results {
+            acc[r.job.scenario_index] += r.wall_ns;
+        }
+        acc
+    }
 }
 
 /// Expands the matrix for a spec list: scenario-major, then seed,
@@ -150,7 +186,8 @@ pub fn run_sweep_on(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Result<SweepOu
     // report in the job's matrix slot: claiming order is racy,
     // result placement is not.
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(RunReport, u64)>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -161,8 +198,10 @@ pub fn run_sweep_on(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Result<SweepOu
                     continue;
                 }
                 let policy = policy_for(spec, &job.policy).expect("policy names validated above");
-                let report = run_seeded(spec, policy, job.base_seed);
-                *slots[i].lock().expect("slot poisoned") = Some(report);
+                let t0 = std::time::Instant::now();
+                let report = run_seeded_in(spec, policy, job.base_seed, cfg.time_mode);
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                *slots[i].lock().expect("slot poisoned") = Some((report, wall_ns));
             });
         }
     });
@@ -170,9 +209,17 @@ pub fn run_sweep_on(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Result<SweepOu
     let results: Vec<SweepResult> = jobs
         .into_iter()
         .zip(slots)
-        .map(|(job, slot)| SweepResult {
-            job,
-            report: slot.into_inner().expect("slot poisoned"),
+        .map(|(job, slot)| {
+            let cell = slot.into_inner().expect("slot poisoned");
+            let (report, wall_ns) = match cell {
+                Some((r, w)) => (Some(r), w),
+                None => (None, 0),
+            };
+            SweepResult {
+                job,
+                report,
+                wall_ns,
+            }
         })
         .collect();
     let table = aggregate(&specs, cfg, &results);
@@ -314,7 +361,7 @@ mod tests {
             policies: vec!["xen-credit".into(), "aql-sched".into()],
             seeds: 2,
             threads,
-            quick: false,
+            ..SweepConfig::default()
         }
     }
 
@@ -381,6 +428,7 @@ mod tests {
             seeds: 1,
             threads: 1,
             quick: true,
+            ..SweepConfig::default()
         };
         let out = run_sweep_on(&specs, &cfg).unwrap();
         // quick() pins the window to 300 ms warm-up + 1 s measured;

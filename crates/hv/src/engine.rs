@@ -17,6 +17,18 @@
 //! Quantum boundaries are enforced inside the sub-step loop at
 //! nanosecond precision: a slice never runs past `Vcpu::slice_end`.
 //!
+//! How the loop walks that sub-step grid is the [`TimeMode`]:
+//! [`TimeMode::Dense`] visits every grid point and re-derives the
+//! scheduler state at each one (the original engine loop, kept as the
+//! conformance oracle), while [`TimeMode::Adaptive`] — the default —
+//! computes an *event horizon* (the earliest instant anything
+//! scheduler-visible can happen: next event, slice expiry, kick
+//! deadline or workload [`Horizon`](crate::workload::Horizon)) and
+//! fast-forwards whole sub-steps up to it on a lean path that performs
+//! the exact same workload execution. The two modes produce
+//! byte-identical [`RunReport`]s by construction; see `horizon` module
+//! docs for the argument.
+//!
 //! The engine is layered into focused modules behind this facade:
 //!
 //! * `machine` — [`Hypervisor`] + [`PcpuState`]: the machine state
@@ -26,6 +38,8 @@
 //!   measured policy deltas are attributable to configuration, never
 //!   to divergent code paths.
 //! * `exec` — the bounded sub-step execution loop.
+//! * `horizon` — the adaptive time-advance core: quiescent-span
+//!   planning and the fast-forward loop.
 //! * `monitor` — event handling: credit ticks, PMU sampling and the
 //!   [`SchedPolicy::on_monitor`] plumbing, guest timers.
 //! * `balance` — idle stealing and periodic run-queue balancing
@@ -36,6 +50,7 @@ mod balance;
 mod builder;
 mod dispatch;
 mod exec;
+mod horizon;
 mod machine;
 mod monitor;
 
@@ -45,6 +60,27 @@ mod tests;
 pub use builder::SimulationBuilder;
 pub use dispatch::{DispatchDecision, DispatchSource};
 pub use machine::{Hypervisor, PcpuState};
+
+/// How [`Simulation::run_until`] advances simulated time between
+/// events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeMode {
+    /// The original engine loop: every sub-step visits the event
+    /// queue, the rescheduler and every pCPU. Kept as the conformance
+    /// oracle for [`TimeMode::Adaptive`] and for bisecting suspected
+    /// fast-path bugs.
+    Dense,
+    /// Event-horizon execution (the default): between events the
+    /// engine proves a span quiescent — no slice expiry, no kick
+    /// deadline, every running workload's
+    /// [`Horizon`](crate::workload::Horizon) beyond it — and
+    /// fast-forwards the span's sub-steps on a lean path that skips
+    /// the event queue, the rescheduler and idle pCPUs entirely.
+    /// Produces byte-identical results to [`TimeMode::Dense`]: running
+    /// workloads see the exact same sequence of execution chunks.
+    #[default]
+    Adaptive,
+}
 
 use aql_sim::queue::EventQueue;
 use aql_sim::rng::SimRng;
@@ -75,6 +111,13 @@ enum Event {
 struct Scratch {
     /// pCPU indices of the pool currently being rebalanced.
     pool_pcpus: Vec<usize>,
+    /// Busy-pCPU execution slots of the adaptive fast-forward loop.
+    fast_slots: Vec<horizon::FastSlot>,
+    /// `sched_gen` at the last failed quiescent-span plan; planning is
+    /// skipped (generic dense sub-steps taken) until the generation
+    /// moves. Purely an efficiency memo — which advance mode runs is
+    /// invisible in the results.
+    failed_plan_gen: Option<u64>,
 }
 
 /// A complete simulation run: hypervisor + workloads + policy + clock.
@@ -88,6 +131,13 @@ pub struct Simulation {
     now: SimTime,
     rng: SimRng,
     substep_ns: u64,
+    time_mode: TimeMode,
+    /// Scheduling-state generation: bumped on every event, dispatch,
+    /// preemption, block and yield. The adaptive planner memoizes a
+    /// failed quiescent-span plan against this counter — no plan can
+    /// start succeeding until the generation moves, so re-planning
+    /// every sub-step of a short-quantum regime is wasted work.
+    sched_gen: u64,
     /// Trace log (enable via [`SimulationBuilder::trace`]).
     pub trace: TraceLog,
     tick_count: u64,
@@ -106,8 +156,27 @@ impl Simulation {
         self.policy.as_ref()
     }
 
-    /// Runs until `end` (absolute simulated time).
+    /// The time-advance mode this simulation runs with.
+    pub fn time_mode(&self) -> TimeMode {
+        self.time_mode
+    }
+
+    /// Runs until `end` (absolute simulated time). A no-op when `end`
+    /// is not after the current time: the clock never moves backwards.
     pub fn run_until(&mut self, end: SimTime) {
+        if end <= self.now {
+            return;
+        }
+        match self.time_mode {
+            TimeMode::Dense => self.run_until_dense(end),
+            TimeMode::Adaptive => self.run_until_adaptive(end),
+        }
+    }
+
+    /// The original dense loop: every sub-step re-derives the full
+    /// scheduler state. [`TimeMode::Adaptive`] must reproduce this
+    /// loop's results bit for bit.
+    fn run_until_dense(&mut self, end: SimTime) {
         while self.now < end {
             // 1. Process all events due now.
             while self

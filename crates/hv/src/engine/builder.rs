@@ -6,7 +6,7 @@ use aql_sim::rng::SimRng;
 use aql_sim::time::SimTime;
 use aql_sim::trace::TraceLog;
 
-use super::{Event, Hypervisor, Scratch, Simulation, DEFAULT_SUBSTEP_NS};
+use super::{Event, Hypervisor, Scratch, Simulation, TimeMode, DEFAULT_SUBSTEP_NS};
 use crate::ids::VcpuId;
 use crate::policy::SchedPolicy;
 use crate::sched::refill_credits;
@@ -20,6 +20,7 @@ pub struct SimulationBuilder {
     machine: MachineSpec,
     seed: u64,
     substep_ns: u64,
+    time_mode: TimeMode,
     trace_capacity: usize,
     vms: Vec<(VmSpec, Box<dyn GuestWorkload>)>,
     policy: Option<Box<dyn SchedPolicy>>,
@@ -32,6 +33,7 @@ impl SimulationBuilder {
             machine,
             seed: 1,
             substep_ns: DEFAULT_SUBSTEP_NS,
+            time_mode: TimeMode::default(),
             trace_capacity: 0,
             vms: Vec::new(),
             policy: None,
@@ -50,6 +52,14 @@ impl SimulationBuilder {
     pub fn substep_ns(mut self, ns: u64) -> Self {
         assert!(ns > 0, "substep must be positive");
         self.substep_ns = ns;
+        self
+    }
+
+    /// Selects the time-advance mode (default [`TimeMode::Adaptive`]).
+    /// [`TimeMode::Dense`] is the original exhaustive loop, kept as the
+    /// conformance oracle; both modes produce byte-identical results.
+    pub fn time_mode(mut self, mode: TimeMode) -> Self {
+        self.time_mode = mode;
         self
     }
 
@@ -127,6 +137,8 @@ impl SimulationBuilder {
             now: SimTime::ZERO,
             rng: SimRng::seed_from(self.seed),
             substep_ns: self.substep_ns,
+            time_mode: self.time_mode,
+            sched_gen: 0,
             trace,
             tick_count: 0,
             measure_start: SimTime::ZERO,

@@ -99,6 +99,7 @@ impl Simulation {
     /// (affecting BOOST eligibility on the next wake).
     pub(super) fn preempt(&mut self, pcpu: usize, vcpu: VcpuId, exhausted: bool) {
         debug_assert_eq!(self.hv.pcpus[pcpu].running, Some(vcpu));
+        self.sched_gen += 1;
         self.hv.pcpus[pcpu].running = None;
         let now = self.now;
         let (vm, slot, prio) = {
@@ -133,6 +134,7 @@ impl Simulation {
     /// Blocks the running vCPU (no runnable work).
     pub(super) fn block(&mut self, pcpu: usize, vcpu: VcpuId) {
         debug_assert_eq!(self.hv.pcpus[pcpu].running, Some(vcpu));
+        self.sched_gen += 1;
         self.hv.pcpus[pcpu].running = None;
         let now = self.now;
         let v = &mut self.hv.vcpus[vcpu.index()];
@@ -152,6 +154,7 @@ impl Simulation {
     /// Voluntary yield: requeue at the tail, stay runnable.
     pub(super) fn yield_requeue(&mut self, pcpu: usize, vcpu: VcpuId) {
         debug_assert_eq!(self.hv.pcpus[pcpu].running, Some(vcpu));
+        self.sched_gen += 1;
         self.hv.pcpus[pcpu].running = None;
         let now = self.now;
         let (vm, slot, prio) = {
@@ -215,6 +218,7 @@ impl Simulation {
     /// policy's [`on_dispatch`](crate::policy::SchedPolicy::on_dispatch)
     /// hook.
     fn apply_decision(&mut self, decision: DispatchDecision, t: SimTime) {
+        self.sched_gen += 1;
         let pcpu = decision.pcpu.index();
         let vid = decision.vcpu;
         let (vm, slot) = {

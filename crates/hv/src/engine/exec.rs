@@ -4,6 +4,11 @@
 //! wall time; within a sub-step a pCPU may run several vCPUs back to
 //! back as slices expire, workloads block or yield. This loop is the
 //! engine's hot path: it performs no heap allocation in steady state.
+//!
+//! The adaptive time-advance (`engine::horizon`) re-enters this loop
+//! mid-chunk through [`Simulation::advance_pcpu_from`] when a workload
+//! deviates from its promised horizon, so both time modes share one
+//! implementation of quantum enforcement and stop-reason handling.
 
 use aql_sim::time::SimTime;
 
@@ -22,10 +27,17 @@ impl Simulation {
     /// Advances one pCPU by `dt`, running (possibly several) vCPUs and
     /// enforcing quantum boundaries at nanosecond precision.
     fn advance_pcpu(&mut self, pcpu: usize, dt: u64) {
-        let mut off: u64 = 0;
+        self.advance_pcpu_from(pcpu, 0, dt, 0);
+    }
+
+    /// Advances one pCPU across `off..dt`, with `spins` zero-progress
+    /// dispatches already observed. `advance_pcpu` enters at
+    /// `(off = 0, spins = 0)`; the adaptive fast path re-enters here to
+    /// finish a sub-step after a workload returned early.
+    pub(super) fn advance_pcpu_from(&mut self, pcpu: usize, mut off: u64, dt: u64, spins: u32) {
         // Defensive bound: a pCPU cannot context-switch more often than
         // once per zero-progress dispatch more than a few times.
-        let mut spins_without_progress = 0u32;
+        let mut spins_without_progress = spins;
         while off < dt {
             let Some(vid) = self.hv.pcpus[pcpu].running else {
                 if !self.try_dispatch(pcpu, self.now + off) {
@@ -45,7 +57,17 @@ impl Simulation {
             if used.used_ns == 0 {
                 spins_without_progress += 1;
                 if spins_without_progress > 8 {
-                    return; // Degenerate workload; stay idle this step.
+                    // Degenerate workload; stay idle this step — but
+                    // say so, or the starvation is undiagnosable.
+                    self.trace.emit(t0, || {
+                        format!(
+                            "{} starved: {} made no progress over {spins_without_progress} \
+                             dispatches, idling for the rest of the step",
+                            PcpuId(pcpu),
+                            vid
+                        )
+                    });
+                    return;
                 }
             } else {
                 spins_without_progress = 0;
@@ -77,6 +99,29 @@ impl Simulation {
             let socket = self.hv.machine.socket_of(PcpuId(pcpu)).index();
             (v.vm.index(), v.slot, socket)
         };
+        let out = self.run_chunk(vid, vm, slot, socket, budget, t0);
+        let v = &mut self.hv.vcpus[vid.index()];
+        v.cpu_ns += out.used_ns;
+        v.unbilled_ns += out.used_ns;
+        v.pmu.add_ran_ns(out.used_ns);
+        self.hv.pcpus[pcpu].busy_ns += out.used_ns;
+        out
+    }
+
+    /// The execution chunk shared by both time modes: hands the slot
+    /// `budget` ns through an [`ExecContext`] and clamps the reported
+    /// usage. CPU-time accounting is left to the caller (the dense
+    /// path accounts per chunk, the fast path per span — u64 sums, so
+    /// the split cannot change any result).
+    pub(super) fn run_chunk(
+        &mut self,
+        vid: VcpuId,
+        vm: usize,
+        slot: usize,
+        socket: usize,
+        budget: u64,
+        t0: SimTime,
+    ) -> crate::workload::RunOutcome {
         let super::Hypervisor {
             vcpus,
             llcs,
@@ -93,6 +138,7 @@ impl Simulation {
             rng: &mut self.rng,
             owner: vid.index(),
             running_slots: &self.vm_running[vm],
+            lean: self.time_mode == super::TimeMode::Adaptive,
         };
         let mut out = self.workloads[vm].run(slot, budget, &mut ctx);
         debug_assert!(
@@ -101,11 +147,6 @@ impl Simulation {
             self.workloads[vm].name()
         );
         out.used_ns = out.used_ns.min(budget);
-        let v = &mut self.hv.vcpus[vid.index()];
-        v.cpu_ns += out.used_ns;
-        v.unbilled_ns += out.used_ns;
-        v.pmu.add_ran_ns(out.used_ns);
-        self.hv.pcpus[pcpu].busy_ns += out.used_ns;
         out
     }
 }

@@ -1,0 +1,280 @@
+//! The adaptive time-advance core (`TimeMode::Adaptive`).
+//!
+//! Between events the dense loop visits every sub-step grid point and
+//! re-derives the full scheduler state — event-queue peeks, pending
+//! preemptions, kick deadlines, idle-pCPU dispatch and steal scans —
+//! even across long spans where provably none of it can matter. This
+//! module plans those spans explicitly and leaps over the dead work.
+//!
+//! # The quiescent-span argument
+//!
+//! After the event drain and [`Simulation::resched_all`] have run at
+//! the current instant, nothing scheduler-visible can happen strictly
+//! before
+//!
+//! ```text
+//! span_end = min( next queued event,
+//!                 running vCPUs' slice_end,
+//!                 queued kick deadlines (vSlicer differentiated frequency),
+//!                 running workloads' horizons )
+//! ```
+//!
+//! because every state change the dense loop can perform between grid
+//! points originates from one of those four sources: events are the
+//! only wake/parking/accounting triggers; a dispatch needs an expired
+//! slice, a kick, or a workload that blocked or yielded; and the
+//! workload [`Horizon`] contract promises no block/yield before its
+//! instant. Idle pCPUs cannot acquire work inside the span — nothing
+//! enqueues — so skipping them is exact.
+//!
+//! # Why the results are byte-identical to the dense oracle
+//!
+//! The fast-forward loop advances the *same sub-step grid* the dense
+//! loop would walk and hands every running workload the *same sequence
+//! of execution chunks* (`run` calls with the same budgets at the same
+//! instants, in the same pCPU order). Floating-point state therefore
+//! follows the exact same trajectory — the fast path never coalesces
+//! chunks, it only skips scheduler work that provably touches nothing.
+//! CPU-time accounting is batched per span, but those accumulators are
+//! `u64`s: integer addition is associative, so batching cannot change
+//! a single bit. The lean cache plumbing it routes through
+//! ([`aql_mem::exec_step_lean`]) is bit-identical to the dense one by
+//! construction and by property test.
+//!
+//! A workload that breaks its horizon promise (returns early, blocks,
+//! yields) is detected on the spot: the engine finishes that sub-step
+//! through the dense [`Simulation::advance_pcpu_from`] continuation —
+//! the exact code the dense loop would have run — and abandons the
+//! span, so even a lying horizon cannot cause divergence, only lost
+//! speed.
+
+use aql_sim::time::{whole_steps, SimTime};
+
+use super::{Simulation, TimeMode};
+use crate::ids::PcpuId;
+use crate::vm::VcpuState;
+use crate::workload::{Horizon, StopReason};
+
+/// Smallest quiescent span (in sub-steps) worth fast-forwarding.
+/// Below this, planning a span (slot hoisting, accounting flush) costs
+/// more than the skipped scheduler work, so the engine just takes
+/// generic dense sub-steps — which mode is chosen per sub-step is
+/// invisible in the results, so this is purely a tuning knob.
+const MIN_FAST_STEPS: u64 = 3;
+
+/// Per-busy-pCPU execution state hoisted once per quiescent span, so
+/// the per-sub-step fast path re-derives nothing.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct FastSlot {
+    pcpu: usize,
+    vid: crate::ids::VcpuId,
+    vm: usize,
+    slot: usize,
+    socket: usize,
+    /// CPU time accumulated by this slot during the span (flushed into
+    /// the u64 accounting fields at span exit).
+    acc_ns: u64,
+}
+
+impl Simulation {
+    /// The adaptive run loop. Event handling, rescheduling and the
+    /// generic sub-step are shared with the dense loop; the only
+    /// addition is the quiescent-span fast-forward between them.
+    pub(super) fn run_until_adaptive(&mut self, end: SimTime) {
+        debug_assert_eq!(self.time_mode, TimeMode::Adaptive);
+        // A previous call's failed plan may have been bounded by that
+        // call's `end`; this call can see further.
+        self.scratch.failed_plan_gen = None;
+        while self.now < end {
+            // 1. Process all events due now (identical to dense).
+            while self
+                .queue
+                .peek_time()
+                .is_some_and(|t| t <= self.now && t <= end)
+            {
+                let (t, ev) = self.queue.pop().expect("peeked");
+                debug_assert!(t <= self.now);
+                self.handle_event(ev);
+            }
+            // 2. Repair scheduling decisions (identical to dense).
+            self.resched_all();
+            // 3. Plan the advance.
+            let t_next = self.queue.peek_time().map_or(end, |t| t.min(end));
+            if t_next <= self.now {
+                if self.queue.peek_time().is_some_and(|t| t <= self.now) {
+                    continue;
+                }
+                break;
+            }
+            if !self.hv.pcpus.iter().any(|p| p.running.is_some()) {
+                // Machine fully idle: leap to the next event, exactly
+                // as the dense loop does.
+                self.now = t_next;
+                continue;
+            }
+            // A plan that failed can only start succeeding after the
+            // scheduling state moves: slices end, kick deadlines pass
+            // and IO queues drain all *via* a dispatch/block/preempt or
+            // an event, each of which bumps `sched_gen`. So a failed
+            // plan is memoized against the generation instead of being
+            // recomputed every sub-step of a short-quantum regime.
+            if self.scratch.failed_plan_gen != Some(self.sched_gen) {
+                let span_end = self.quiescent_until(t_next);
+                if whole_steps(self.now, span_end, self.substep_ns) >= MIN_FAST_STEPS {
+                    self.fast_forward(span_end);
+                    // Re-derive everything at the new grid point: the
+                    // dense loop performs the same event drain and
+                    // resched there (both provably no-ops unless the
+                    // span aborted).
+                    continue;
+                }
+                self.scratch.failed_plan_gen = Some(self.sched_gen);
+            }
+            // 4. Not quiescent for long enough: one generic dense
+            // sub-step (identical to the dense loop).
+            let span = t_next - self.now;
+            let dt = span.min(self.substep_ns);
+            self.advance_all(dt);
+            self.now += dt;
+        }
+        self.now = end;
+    }
+
+    /// The earliest instant anything scheduler-visible can happen, at
+    /// most `t_next` (the next queued event). Called immediately after
+    /// the event drain and `resched_all`, which is what makes the
+    /// bound sound — see the module docs.
+    ///
+    /// Bails to `self.now` ("not worth it") as soon as the bound drops
+    /// below [`MIN_FAST_STEPS`] sub-steps, so short-quantum regimes
+    /// (microsliced slices, dense vSlicer kick deadlines) pay a scan of
+    /// at most a few pCPUs per sub-step, not a full machine scan.
+    fn quiescent_until(&self, t_next: SimTime) -> SimTime {
+        let floor = self.now + MIN_FAST_STEPS * self.substep_ns;
+        if t_next < floor {
+            return self.now;
+        }
+        let mut span_end = t_next;
+        for pi in 0..self.hv.pcpus.len() {
+            let Some(rv) = self.hv.pcpus[pi].running else {
+                continue;
+            };
+            let v = &self.hv.vcpus[rv.index()];
+            // Slice expiry is a dispatch point.
+            span_end = span_end.min(v.slice_end);
+            if span_end < floor {
+                return self.now;
+            }
+            // The workload's own promise.
+            match self.workloads[v.vm.index()].horizon(v.slot, self.now) {
+                Horizon::Unknown => return self.now,
+                Horizon::At(t) => span_end = span_end.min(t),
+                Horizon::Never => {}
+            }
+            if span_end < floor {
+                return self.now;
+            }
+            // vSlicer differentiated frequency: a queued vCPU whose
+            // kick period elapses preempts a kickless runner.
+            if v.kick_period_ns.is_none() {
+                for w in self.hv.pcpus[pi].queue.iter() {
+                    let wc = &self.hv.vcpus[w.index()];
+                    if let Some(p) = wc.kick_period_ns {
+                        span_end = span_end.min(wc.last_desched + p);
+                    }
+                }
+                if span_end < floor {
+                    return self.now;
+                }
+            }
+        }
+        span_end
+    }
+
+    /// Fast-forwards whole sub-steps across a proven-quiescent span:
+    /// per grid point, one execution chunk per busy pCPU (in pCPU
+    /// order, exactly like `advance_all`) and nothing else. Exits at
+    /// the last grid point before `span_end`, or at the first sub-step
+    /// where a workload deviated from its horizon promise (that
+    /// sub-step is completed densely before returning).
+    fn fast_forward(&mut self, span_end: SimTime) {
+        let dt = self.substep_ns;
+        let mut slots = std::mem::take(&mut self.scratch.fast_slots);
+        slots.clear();
+        for pi in 0..self.hv.pcpus.len() {
+            if let Some(vid) = self.hv.pcpus[pi].running {
+                let v = &self.hv.vcpus[vid.index()];
+                debug_assert_eq!(v.state, VcpuState::Running);
+                slots.push(FastSlot {
+                    pcpu: pi,
+                    vid,
+                    vm: v.vm.index(),
+                    slot: v.slot,
+                    socket: self.hv.machine.socket_of(PcpuId(pi)).index(),
+                    acc_ns: 0,
+                });
+            }
+        }
+        let mut steps = whole_steps(self.now, span_end, dt);
+        debug_assert!(steps > 0, "caller checked the span fits a sub-step");
+        'span: while steps > 0 {
+            for i in 0..slots.len() {
+                let s = slots[i];
+                // The span proof guarantees the slice outlives this
+                // sub-step; the budget is always the full grid step.
+                debug_assert!(
+                    self.hv.vcpus[s.vid.index()]
+                        .slice_end
+                        .saturating_since(self.now)
+                        >= dt
+                );
+                let out = self.run_chunk(s.vid, s.vm, s.slot, s.socket, dt, self.now);
+                if out.used_ns == dt && out.stop == StopReason::BudgetExhausted {
+                    slots[i].acc_ns += dt;
+                    continue;
+                }
+                // Horizon promise broken: flush the span accounting,
+                // replay the dense stop-reason handling for this chunk
+                // and finish the sub-step densely for this pCPU and
+                // every later one — byte-for-byte what the dense loop
+                // would have done from here.
+                slots[i].acc_ns += out.used_ns;
+                self.flush_fast_accounting(&mut slots);
+                match out.stop {
+                    StopReason::BudgetExhausted => {}
+                    StopReason::Blocked => self.block(s.pcpu, s.vid),
+                    StopReason::Yielded => self.yield_requeue(s.pcpu, s.vid),
+                }
+                let spins = u32::from(out.used_ns == 0);
+                self.advance_pcpu_from(s.pcpu, out.used_ns, dt, spins);
+                for pj in (s.pcpu + 1)..self.hv.pcpus.len() {
+                    self.advance_pcpu_from(pj, 0, dt, 0);
+                }
+                self.now += dt;
+                slots.clear();
+                break 'span;
+            }
+            self.now += dt;
+            steps -= 1;
+        }
+        self.flush_fast_accounting(&mut slots);
+        self.scratch.fast_slots = slots;
+    }
+
+    /// Credits each slot's span-accumulated CPU time to the vCPU and
+    /// pCPU accounting fields, consuming the accumulators. All of them
+    /// are `u64`s, so crediting per span instead of per chunk is exact.
+    fn flush_fast_accounting(&mut self, slots: &mut [FastSlot]) {
+        for s in slots {
+            if s.acc_ns == 0 {
+                continue;
+            }
+            let v = &mut self.hv.vcpus[s.vid.index()];
+            v.cpu_ns += s.acc_ns;
+            v.unbilled_ns += s.acc_ns;
+            v.pmu.add_ran_ns(s.acc_ns);
+            self.hv.pcpus[s.pcpu].busy_ns += s.acc_ns;
+            s.acc_ns = 0;
+        }
+    }
+}

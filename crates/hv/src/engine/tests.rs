@@ -552,3 +552,99 @@ fn same_seed_runs_are_bit_identical() {
     };
     assert_eq!(run(), run(), "identical seeds must replay bit-identically");
 }
+
+/// A degenerate workload: always runnable, never makes progress.
+struct Stuck;
+
+impl GuestWorkload for Stuck {
+    fn name(&self) -> &str {
+        "stuck"
+    }
+    fn vcpu_slots(&self) -> usize {
+        1
+    }
+    fn run(&mut self, _slot: usize, _budget_ns: u64, _ctx: &mut ExecContext<'_>) -> RunOutcome {
+        RunOutcome {
+            used_ns: 0,
+            stop: StopReason::BudgetExhausted,
+        }
+    }
+    fn runnable(&self, _slot: usize) -> bool {
+        true
+    }
+    fn next_timer(&self, _slot: usize) -> Option<SimTime> {
+        None
+    }
+    fn on_timer(&mut self, _slot: usize, _now: SimTime) -> TimerFire {
+        TimerFire::default()
+    }
+    fn metrics(&self) -> WorkloadMetrics {
+        WorkloadMetrics::None
+    }
+}
+
+#[test]
+fn starved_pcpu_emits_a_trace_line() {
+    // A workload that never makes progress used to idle the pCPU for
+    // the rest of the step silently; now the bail-out is traced.
+    let mut sim = SimulationBuilder::new(machine(1))
+        .trace(512)
+        .vm(VmSpec::single("zombie"), Box::new(Stuck))
+        .build();
+    sim.run_for(MS);
+    assert!(
+        sim.trace.lines().iter().any(|l| l.contains("starved")),
+        "zero-progress bail-outs must be diagnosable: {:?}",
+        sim.trace.lines()
+    );
+    assert_eq!(sim.now(), SimTime(MS), "the clock still reaches the end");
+}
+
+#[test]
+fn time_mode_defaults_to_adaptive_and_is_selectable() {
+    let sim = SimulationBuilder::new(machine(1))
+        .vm(VmSpec::single("a"), Box::new(Hog))
+        .build();
+    assert_eq!(sim.time_mode(), TimeMode::Adaptive);
+    let dense = SimulationBuilder::new(machine(1))
+        .time_mode(TimeMode::Dense)
+        .vm(VmSpec::single("a"), Box::new(Hog))
+        .build();
+    assert_eq!(dense.time_mode(), TimeMode::Dense);
+}
+
+#[test]
+fn dense_and_adaptive_agree_bit_for_bit_on_engine_mixes() {
+    // The engine-level conformance check: hogs (horizon-less custom
+    // workloads default to Unknown) plus blockers, on both modes.
+    let run = |mode: TimeMode| {
+        let mut sim = SimulationBuilder::new(machine(2))
+            .seed(11)
+            .time_mode(mode)
+            .vm(VmSpec::single("a"), Box::new(Hog))
+            .vm(VmSpec::single("b"), Box::new(Blinker::new(MS, 7 * MS)))
+            .vm(VmSpec::single("c"), Box::new(Hog))
+            .build();
+        sim.run_for(SEC);
+        format!("{:?}", sim.report())
+    };
+    assert_eq!(
+        run(TimeMode::Dense),
+        run(TimeMode::Adaptive),
+        "time modes must be observationally identical"
+    );
+}
+
+#[test]
+fn run_until_never_moves_the_clock_backwards() {
+    let mut sim = SimulationBuilder::new(machine(1))
+        .vm(VmSpec::single("a"), Box::new(Hog))
+        .build();
+    sim.run_until(SimTime(50 * MS));
+    assert_eq!(sim.now(), SimTime(50 * MS));
+    // An earlier (or equal) target is a no-op, not a rewind.
+    sim.run_until(SimTime(10 * MS));
+    assert_eq!(sim.now(), SimTime(50 * MS));
+    sim.run_until(SimTime(50 * MS));
+    assert_eq!(sim.now(), SimTime(50 * MS));
+}

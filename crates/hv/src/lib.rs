@@ -18,7 +18,9 @@
 //!   plus [`ExecContext`] giving them metered access to the cache and
 //!   PMU models.
 //! * [`engine`] — the simulation loop ([`Simulation`]) advancing
-//!   running vCPUs in bounded sub-steps and dispatching timer events.
+//!   running vCPUs in bounded sub-steps and dispatching timer events;
+//!   [`TimeMode`] selects between the dense oracle loop and the
+//!   byte-identical event-horizon fast path.
 //! * [`policy`] — the [`SchedPolicy`] hook AQL_Sched and the baseline
 //!   schedulers implement.
 //! * [`spinlock`] — a guest-visible ticket spin-lock whose
@@ -41,7 +43,7 @@ pub mod vm;
 pub mod workload;
 
 pub use apptype::VcpuType;
-pub use engine::{Simulation, SimulationBuilder};
+pub use engine::{Simulation, SimulationBuilder, TimeMode};
 pub use ids::{PcpuId, PoolId, SocketId, VcpuId, VmId};
 pub use policy::{FixedQuantumPolicy, SchedPolicy};
 pub use pool::{CpuPool, PoolSpec};
@@ -49,7 +51,8 @@ pub use report::{RunReport, VmReport};
 pub use topology::MachineSpec;
 pub use vm::{Prio, Vcpu, VcpuState, VmSpec};
 pub use workload::{
-    ExecContext, GuestWorkload, LatencySummary, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
+    ExecContext, GuestWorkload, Horizon, LatencySummary, RunOutcome, StopReason, TimerFire,
+    WorkloadMetrics,
 };
 
 /// The Xen Credit scheduler's accounting tick (10 ms).

@@ -11,9 +11,40 @@
 //! meters instruction progress against the cache model and accumulates
 //! PMU counters — the same counters the paper's vTRS samples.
 
-use aql_mem::{exec_step, CacheSpec, ExecOutcome, LlcState, MemProfile, PmuCounters};
+use aql_mem::{
+    exec_step, exec_step_lean, CacheSpec, ExecOutcome, LlcState, MemProfile, PmuCounters,
+};
 use aql_sim::rng::SimRng;
 use aql_sim::time::SimTime;
+
+/// A workload slot's promise about its next scheduling-visible act.
+///
+/// The engine's adaptive time-advance (`TimeMode::Adaptive`) asks every
+/// *running* slot for its horizon when planning how far it can
+/// fast-forward without consulting the scheduler. The contract is:
+/// **assuming the slot runs continuously from `now`, any
+/// [`GuestWorkload::run`] call that ends strictly before the horizon
+/// returns [`StopReason::BudgetExhausted`]** — the slot neither blocks
+/// nor yields inside the promised window. Phase changes, lock handoffs
+/// and cache-state evolution are fine: they happen *inside* `run` and
+/// do not require the scheduler.
+///
+/// An unsound (too-late) horizon cannot corrupt a run — the engine
+/// detects the broken promise and falls back to the dense path for the
+/// affected sub-step — but it wastes the fast path, so report
+/// [`Horizon::Unknown`] when in doubt (it is the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Horizon {
+    /// The slot may block or yield at any moment (e.g. an IO server
+    /// with an empty request queue). The engine stays on the dense
+    /// path while such a slot runs.
+    Unknown,
+    /// The slot will not block or yield before the given instant.
+    At(SimTime),
+    /// The slot never blocks or yields of its own accord (pure CPU
+    /// burners, spin workloads without directed yield).
+    Never,
+}
 
 /// Why a workload stopped before using its whole budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,13 +111,19 @@ pub struct ExecContext<'a> {
     /// Which of this VM's slots are currently on a pCPU; lets
     /// spin-lock models observe holder preemption.
     pub running_slots: &'a [bool],
+    /// Routes [`ExecContext::exec_mem`] through the allocation-free
+    /// lean cache plumbing ([`aql_mem::exec_step_lean`]). The two paths
+    /// are bit-identical; the adaptive time-advance sets this, the
+    /// dense conformance oracle leaves it off.
+    pub lean: bool,
 }
 
 impl ExecContext<'_> {
     /// Executes `dt_ns` of CPU under `profile`, updating the LLC, the
     /// L2 warmth and the PMU. Returns the retirement outcome.
     pub fn exec_mem(&mut self, profile: &MemProfile, dt_ns: u64) -> ExecOutcome {
-        let out = exec_step(
+        let step = if self.lean { exec_step_lean } else { exec_step };
+        let out = step(
             profile,
             self.spec,
             self.llc,
@@ -194,6 +231,14 @@ pub trait GuestWorkload {
     /// Whether the slot has runnable work right now (used at admission
     /// and after pool reconfigurations).
     fn runnable(&self, slot: usize) -> bool;
+
+    /// The next instant the *running* slot could block or yield (see
+    /// [`Horizon`] for the exact contract). The default is
+    /// [`Horizon::Unknown`], which is always sound: the engine then
+    /// advances the slot on the dense sub-step path.
+    fn horizon(&self, _slot: usize, _now: SimTime) -> Horizon {
+        Horizon::Unknown
+    }
 
     /// The next instant at which the slot needs a timer delivery
     /// (request arrival, sleep expiry), if any.

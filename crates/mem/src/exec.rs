@@ -128,6 +128,87 @@ pub fn exec_step(
     out
 }
 
+/// Bit-identical fast variant of [`exec_step`].
+///
+/// Performs the same frozen-rate integration with the same internal
+/// chunk boundaries and the same floating-point operation order, but
+/// hoists the loop-invariant profile constants and routes LLC
+/// insertions through the allocation-free [`LlcState::insert_lean`].
+/// The engine's adaptive time-advance uses this path; the dense
+/// conformance oracle keeps using [`exec_step`]. The
+/// `lean_exec_matches_dense` property test asserts bitwise equality of
+/// outcomes and of the resulting LLC/warmth state.
+pub fn exec_step_lean(
+    profile: &MemProfile,
+    spec: &CacheSpec,
+    llc: &mut LlcState,
+    owner: usize,
+    l2_warmth: &mut f64,
+    dt_ns: u64,
+) -> ExecOutcome {
+    let mut out = ExecOutcome::default();
+    if dt_ns == 0 {
+        return out;
+    }
+    let wss = profile.wss_bytes as f64;
+    // Loop-invariant constants (pure functions of profile and spec).
+    let h2_cap = profile.l2_hit_warm(spec);
+    let deep = profile.deep_refs_per_instr;
+    let l2_target = (wss.min(spec.l2_bytes as f64)).max(1.0);
+    let line = spec.line_bytes as f64;
+    let mut remaining = dt_ns as f64;
+    let mut guard = 0;
+    while remaining > 0.0 {
+        guard += 1;
+        debug_assert!(guard < 10_000, "exec_step_lean failed to converge");
+        let h2 = h2_cap * l2_warmth.clamp(0.0, 1.0);
+        let resident = llc.occupancy(owner);
+        let h3 = if wss <= 0.0 {
+            1.0
+        } else {
+            (resident / wss).clamp(0.0, 1.0)
+        };
+        let llc_ref_per_instr = deep * (1.0 - h2);
+        let llc_miss_per_instr = llc_ref_per_instr * (1.0 - h3);
+        let ns_per_instr = profile.base_ns_per_instr
+            + deep
+                * (h2 * spec.l2_hit_ns
+                    + (1.0 - h2) * (h3 * spec.llc_hit_ns + (1.0 - h3) * spec.mem_ns));
+
+        let mut chunk = remaining;
+        if llc_miss_per_instr > 1e-12 && wss > 0.0 {
+            let instr_cap = (wss * MAX_FILL_FRACTION / line) / llc_miss_per_instr;
+            chunk = chunk.min(instr_cap * ns_per_instr);
+        }
+        let l2_fill_per_instr = deep * (1.0 - h2);
+        if l2_fill_per_instr > 1e-12 && *l2_warmth < 1.0 {
+            let instr_cap = (l2_target * MAX_FILL_FRACTION / line) / l2_fill_per_instr;
+            chunk = chunk.min(instr_cap * ns_per_instr);
+        }
+        chunk = chunk.max(remaining.min(1.0)).min(remaining);
+
+        let instr = chunk / ns_per_instr;
+        let refs = instr * llc_ref_per_instr;
+        let misses = instr * llc_miss_per_instr;
+        out.instructions += instr;
+        out.llc_refs += refs;
+        out.llc_misses += misses;
+
+        if refs > 0.0 && wss > 0.0 {
+            llc.touch_frac(owner, refs * line / wss);
+        }
+        if misses > 0.0 {
+            llc.insert_lean(owner, misses * line, wss);
+        }
+        if l2_fill_per_instr > 1e-12 {
+            let fill = instr * l2_fill_per_instr * line;
+            *l2_warmth = (*l2_warmth + fill / l2_target).min(1.0);
+        }
+        remaining -= chunk;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +321,69 @@ mod tests {
             ratio > 1.0 && ratio < 1.6,
             "L2 refill should cost a little, not a lot: warm/cold = {ratio}"
         );
+    }
+
+    #[test]
+    fn lean_exec_matches_dense() {
+        // exec_step_lean must be bit-identical to exec_step: same
+        // outcomes, same LLC trajectory, same warmth — across profiles,
+        // owner mixes and chunk sizes.
+        let spec = spec();
+        let profiles = [
+            MemProfile::llcf(&spec),
+            MemProfile::lolcf(&spec),
+            MemProfile::llco(&spec),
+            MemProfile::light(),
+        ];
+        let mut rng = aql_sim::rng::SimRng::seed_from(7);
+        let owners = profiles.len();
+        let mut llc_a = LlcState::new(spec.llc_bytes as f64, owners);
+        let mut llc_b = LlcState::new(spec.llc_bytes as f64, owners);
+        let mut warm_a = vec![0.0f64; owners];
+        let mut warm_b = vec![0.0f64; owners];
+        for step in 0..600 {
+            let owner = rng.uniform_u64(0, owners as u64) as usize;
+            let dt = rng.uniform_u64(1, 2_000_000);
+            let a = exec_step(
+                &profiles[owner],
+                &spec,
+                &mut llc_a,
+                owner,
+                &mut warm_a[owner],
+                dt,
+            );
+            let b = exec_step_lean(
+                &profiles[owner],
+                &spec,
+                &mut llc_b,
+                owner,
+                &mut warm_b[owner],
+                dt,
+            );
+            assert_eq!(
+                a.instructions.to_bits(),
+                b.instructions.to_bits(),
+                "instructions diverged at step {step}"
+            );
+            assert_eq!(a.llc_refs.to_bits(), b.llc_refs.to_bits(), "step {step}");
+            assert_eq!(
+                a.llc_misses.to_bits(),
+                b.llc_misses.to_bits(),
+                "step {step}"
+            );
+            assert_eq!(
+                warm_a[owner].to_bits(),
+                warm_b[owner].to_bits(),
+                "warmth diverged at step {step}"
+            );
+            for i in 0..owners {
+                assert_eq!(
+                    llc_a.occupancy(i).to_bits(),
+                    llc_b.occupancy(i).to_bits(),
+                    "occ[{i}] diverged at step {step}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod pmu;
 pub mod profile;
 pub mod spec;
 
-pub use exec::{exec_step, ExecOutcome};
+pub use exec::{exec_step, exec_step_lean, ExecOutcome};
 pub use llc::LlcState;
 pub use pmu::{PmuCounters, PmuSample};
 pub use profile::MemProfile;

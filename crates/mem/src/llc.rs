@@ -46,6 +46,9 @@ pub struct LlcState {
     occ: Vec<f64>,
     total: f64,
     freshness: Vec<f64>,
+    /// Reused eviction-weight buffer for [`LlcState::insert_lean`], so
+    /// the lean path performs no allocation in steady state.
+    scratch: Vec<f64>,
 }
 
 impl LlcState {
@@ -57,6 +60,7 @@ impl LlcState {
             occ: vec![0.0; owners],
             total: 0.0,
             freshness: vec![0.0; owners],
+            scratch: Vec::new(),
         }
     }
 
@@ -156,6 +160,84 @@ impl LlcState {
                 break;
             }
         }
+        if overflow > 1e-9 {
+            // Degenerate weights: plain proportional fallback.
+            let sum: f64 = self.occ.iter().sum();
+            if sum > 0.0 {
+                let scale = (sum - overflow).max(0.0) / sum;
+                for o in &mut self.occ {
+                    *o *= scale;
+                }
+            }
+        }
+        self.total = self.occ.iter().sum();
+    }
+
+    /// Bit-identical fast variant of [`LlcState::insert`].
+    ///
+    /// Performs exactly the same floating-point operations in exactly
+    /// the same order, but reuses a scratch buffer for the eviction
+    /// weights (no allocation) and skips terms that are exactly zero
+    /// (`x + 0.0` and `0.0 × d` are exact, so skipping them cannot
+    /// change any bit of the result). The engine's adaptive time-advance
+    /// routes execution through this path; the dense conformance oracle
+    /// keeps calling [`LlcState::insert`]. `llc_lean_matches_insert`
+    /// (property test) asserts the bitwise equivalence.
+    pub fn insert_lean(&mut self, owner: usize, bytes: f64, max_bytes: f64) {
+        debug_assert!(bytes >= 0.0 && max_bytes >= 0.0);
+        self.ensure_owners(owner + 1);
+        let cur = self.occ[owner];
+        let grown = (cur + bytes).min(max_bytes.max(cur));
+        self.total += grown - cur;
+        self.occ[owner] = grown;
+        // New insertions age everyone else's lines. Fully-stale owners
+        // (freshness exactly 0) stay at 0 under any decay, so skip them.
+        if bytes > 0.0 {
+            let decay = (-bytes / (self.capacity * FRESH_TAU)).exp();
+            for (i, f) in self.freshness.iter_mut().enumerate() {
+                if i != owner && *f != 0.0 {
+                    *f *= decay;
+                }
+            }
+        }
+        let mut overflow = self.total - self.capacity;
+        if overflow <= 0.0 {
+            return;
+        }
+        let mut weights = std::mem::take(&mut self.scratch);
+        for _ in 0..4 {
+            if overflow <= 1e-9 {
+                break;
+            }
+            weights.clear();
+            weights.extend((0..self.occ.len()).map(|i| {
+                if self.occ[i] > 0.0 {
+                    self.occ[i] * (1.0 + STALE_BOOST * (1.0 - self.freshness[i]))
+                } else {
+                    0.0
+                }
+            }));
+            let wsum: f64 = weights.iter().sum();
+            if wsum <= 0.0 {
+                break;
+            }
+            let mut evicted = 0.0;
+            for (occ, w) in self.occ.iter_mut().zip(&weights) {
+                // Zero-weight owners contribute an exact 0.0 take.
+                if *w == 0.0 {
+                    continue;
+                }
+                let want = overflow * w / wsum;
+                let take = want.min(*occ);
+                *occ -= take;
+                evicted += take;
+            }
+            overflow -= evicted;
+            if evicted <= 1e-12 {
+                break;
+            }
+        }
+        self.scratch = weights;
         if overflow > 1e-9 {
             // Degenerate weights: plain proportional fallback.
             let sum: f64 = self.occ.iter().sum();
@@ -292,6 +374,50 @@ mod tests {
             active.occupancy(0),
             stale.occupancy(0)
         );
+    }
+
+    #[test]
+    fn llc_lean_matches_insert() {
+        // insert_lean must be bit-identical to insert over arbitrary
+        // operation sequences: same occupancies, totals and freshness.
+        let mut rng = aql_sim::rng::SimRng::seed_from(42);
+        for owners in [1usize, 2, 7, 32] {
+            let mut a = LlcState::new(8_388_608.0, owners);
+            let mut b = LlcState::new(8_388_608.0, owners);
+            for step in 0..2_000 {
+                let owner = rng.uniform_u64(0, owners as u64) as usize;
+                match rng.uniform_u64(0, 4) {
+                    0 => {
+                        let frac = rng.unit_f64() * 1.5;
+                        a.touch_frac(owner, frac);
+                        b.touch_frac(owner, frac);
+                    }
+                    _ => {
+                        let bytes = rng.unit_f64() * 2_000_000.0;
+                        let max = if rng.chance(0.3) {
+                            1e9
+                        } else {
+                            rng.unit_f64() * 9_000_000.0
+                        };
+                        a.insert(owner, bytes, max);
+                        b.insert_lean(owner, bytes, max);
+                    }
+                }
+                assert_eq!(a.total().to_bits(), b.total().to_bits(), "step {step}");
+                for i in 0..owners {
+                    assert_eq!(
+                        a.occupancy(i).to_bits(),
+                        b.occupancy(i).to_bits(),
+                        "occ[{i}] diverged at step {step}"
+                    );
+                    assert_eq!(
+                        a.freshness(i).to_bits(),
+                        b.freshness(i).to_bits(),
+                        "freshness[{i}] diverged at step {step}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

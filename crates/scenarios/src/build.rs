@@ -26,7 +26,9 @@ use aql_baselines::{xen_credit, Microsliced, VSlicer, VTurbo};
 use aql_core::AqlSched;
 use aql_hv::apptype::VcpuType;
 use aql_hv::workload::GuestWorkload;
-use aql_hv::{MachineSpec, RunReport, SchedPolicy, Simulation, SimulationBuilder, VmSpec};
+use aql_hv::{
+    MachineSpec, RunReport, SchedPolicy, Simulation, SimulationBuilder, TimeMode, VmSpec,
+};
 use aql_sim::rng::derive_seed;
 
 use crate::spec::ScenarioSpec;
@@ -95,15 +97,29 @@ pub fn build_sim(spec: &ScenarioSpec, policy: Box<dyn SchedPolicy>) -> Simulatio
     build_sim_seeded(spec, policy, spec.seed)
 }
 
-/// Builds the simulation at an arbitrary base seed.
+/// Builds the simulation at an arbitrary base seed, in the default
+/// time mode ([`TimeMode::Adaptive`]).
 pub fn build_sim_seeded(
     spec: &ScenarioSpec,
     policy: Box<dyn SchedPolicy>,
     base_seed: u64,
 ) -> Simulation {
+    build_sim_seeded_in(spec, policy, base_seed, TimeMode::default())
+}
+
+/// Builds the simulation at an arbitrary base seed under an explicit
+/// [`TimeMode`]. Both modes produce byte-identical reports; `Dense` is
+/// the conformance oracle, `Adaptive` the fast default.
+pub fn build_sim_seeded_in(
+    spec: &ScenarioSpec,
+    policy: Box<dyn SchedPolicy>,
+    base_seed: u64,
+    mode: TimeMode,
+) -> Simulation {
     SimulationBuilder::new(machine(spec))
         .seed(base_seed)
         .substep_ns(spec.substep_ns)
+        .time_mode(mode)
         .policy(policy)
         .vms(expand_seeded(spec, base_seed))
         .build()
@@ -117,7 +133,18 @@ pub fn run(spec: &ScenarioSpec, policy: Box<dyn SchedPolicy>) -> RunReport {
 
 /// Runs warm-up + measurement at an arbitrary base seed.
 pub fn run_seeded(spec: &ScenarioSpec, policy: Box<dyn SchedPolicy>, base_seed: u64) -> RunReport {
-    build_sim_seeded(spec, policy, base_seed).run_measured(spec.warmup_ns, spec.measure_ns)
+    run_seeded_in(spec, policy, base_seed, TimeMode::default())
+}
+
+/// Runs warm-up + measurement at an arbitrary base seed under an
+/// explicit [`TimeMode`].
+pub fn run_seeded_in(
+    spec: &ScenarioSpec,
+    policy: Box<dyn SchedPolicy>,
+    base_seed: u64,
+    mode: TimeMode,
+) -> RunReport {
+    build_sim_seeded_in(spec, policy, base_seed, mode).run_measured(spec.warmup_ns, spec.measure_ns)
 }
 
 /// The names of the spec's latency-sensitive VM instances (ground

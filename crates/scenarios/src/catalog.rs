@@ -131,8 +131,36 @@ vm llco-%i  count=10 workload=walk/llco
 vm lolcf-%i count=10 workload=walk/lolcf
 ";
 
+/// solo-calibration — the paper's solo baselines: one cache-friendly
+/// walker alone on an otherwise idle 8-core host. Every normalised
+/// figure divides by a run like this one; it is also the pure
+/// next-event regime of the adaptive time-advance (no contention, no
+/// coupling, seven idle cores the dense loop re-scans every sub-step).
+pub const SOLO_CALIBRATION: &str = "\
+# Solo baseline: one LLCF walker on an otherwise idle 8-core host.
+scenario   = solo-calibration
+machine    = sockets=1 cores=8 cache=i7-3770
+vm victim   workload=walk/llcf
+vm ghost-%i count=4 workload=idle
+";
+
+/// nightly-lull — the web farm after hours: the same tenant classes
+/// at a fraction of the daytime pressure, leaving most cores idle
+/// most of the time. Consolidation planners care about this regime —
+/// light load is where over-eager quantum policies waste wakeups —
+/// and it is the event-horizon core's home turf: long quiescent spans
+/// with one or two busy cores.
+pub const NIGHTLY_LULL: &str = "\
+# After-hours lull: two batch walkers and low-rate IO on eight cores.
+scenario   = nightly-lull
+machine    = sockets=1 cores=8 cache=i7-3770
+vm web-%i   count=4 workload=io/exclusive/40 seed=300+
+vm batch-%i count=2 workload=walk/llcf
+vm ghost-%i count=2 workload=idle
+";
+
 /// Every catalog entry as `(name, document)`, in sweep order.
-pub const ENTRIES: [(&str, &str); 10] = [
+pub const ENTRIES: [(&str, &str); 12] = [
     ("quickstart", QUICKSTART),
     ("webfarm", WEBFARM),
     ("parsec-batch", PARSEC_BATCH),
@@ -143,6 +171,8 @@ pub const ENTRIES: [(&str, &str); 10] = [
     ("spinfarm", SPINFARM),
     ("policy-duel", POLICY_DUEL),
     ("foursocket", FOURSOCKET),
+    ("solo-calibration", SOLO_CALIBRATION),
+    ("nightly-lull", NIGHTLY_LULL),
 ];
 
 /// Catalog names in sweep order.

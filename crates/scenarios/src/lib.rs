@@ -28,8 +28,9 @@ pub mod build;
 pub mod catalog;
 pub mod spec;
 
+pub use aql_hv::TimeMode;
 pub use build::{
-    build_sim, classes, expand, machine, policy_applicable, policy_for, run, run_seeded,
-    POLICY_NAMES,
+    build_sim, build_sim_seeded, build_sim_seeded_in, classes, expand, machine, policy_applicable,
+    policy_for, run, run_seeded, run_seeded_in, POLICY_NAMES,
 };
 pub use spec::{CachePreset, MachineDecl, ScenarioSpec, SpecError, VmDecl, VmSeed};

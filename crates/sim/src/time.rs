@@ -119,15 +119,21 @@ impl fmt::Display for SimTime {
 /// # Examples
 ///
 /// ```
-/// use aql_sim::time::{fmt_dur, MS, US};
+/// use aql_sim::time::{fmt_dur, MS, SEC, US};
 ///
 /// assert_eq!(fmt_dur(30 * MS), "30ms");
 /// assert_eq!(fmt_dur(1500 * US), "1.5ms");
 /// assert_eq!(fmt_dur(250), "250ns");
+/// assert_eq!(fmt_dur(SEC), "1s");
+/// assert_eq!(fmt_dur(1500 * MS), "1.5s");
 /// ```
 pub fn fmt_dur(ns: u64) -> String {
-    if ns >= SEC && ns.is_multiple_of(SEC) {
-        format!("{}s", ns / SEC)
+    if ns >= SEC {
+        if ns.is_multiple_of(SEC) {
+            format!("{}s", ns / SEC)
+        } else {
+            format!("{}s", ns as f64 / SEC as f64)
+        }
     } else if ns >= MS {
         if ns.is_multiple_of(MS) {
             format!("{}ms", ns / MS)
@@ -143,6 +149,27 @@ pub fn fmt_dur(ns: u64) -> String {
     } else {
         format!("{ns}ns")
     }
+}
+
+/// Number of whole `step_ns` steps that fit between `from` and `until`
+/// (zero when `until` is not after `from`). This is the grid arithmetic
+/// the engine's adaptive time-advance uses to fast-forward a proven
+/// quiescent span without leaving the dense sub-step grid.
+///
+/// # Examples
+///
+/// ```
+/// use aql_sim::time::{whole_steps, SimTime, US};
+///
+/// let t0 = SimTime::from_us(30);
+/// assert_eq!(whole_steps(t0, t0 + 250 * US, 100 * US), 2);
+/// assert_eq!(whole_steps(t0, t0 + 200 * US, 100 * US), 2);
+/// assert_eq!(whole_steps(t0, t0 + 99 * US, 100 * US), 0);
+/// assert_eq!(whole_steps(t0, t0, 100 * US), 0);
+/// ```
+pub fn whole_steps(from: SimTime, until: SimTime, step_ns: u64) -> u64 {
+    assert!(step_ns > 0, "step must be positive");
+    until.saturating_since(from) / step_ns
 }
 
 #[cfg(test)]
@@ -192,5 +219,29 @@ mod tests {
         assert_eq!(fmt_dur(SEC), "1s");
         assert_eq!(fmt_dur(10 * US), "10us");
         assert_eq!(fmt_dur(1), "1ns");
+    }
+
+    #[test]
+    fn non_integral_seconds_render_as_seconds() {
+        // Regression: 1.5 s used to render as "1500ms".
+        assert_eq!(fmt_dur(1500 * MS), "1.5s");
+        assert_eq!(fmt_dur(2750 * MS), "2.75s");
+        assert_eq!(fmt_dur(10 * SEC), "10s");
+        assert_eq!(fmt_dur(999 * MS), "999ms");
+    }
+
+    #[test]
+    fn whole_steps_counts_full_steps_only() {
+        let t = SimTime::from_ms(7);
+        assert_eq!(whole_steps(t, t + 10 * MS, MS), 10);
+        assert_eq!(whole_steps(t, t + 10 * MS + 1, MS), 10);
+        assert_eq!(whole_steps(t + MS, t, MS), 0, "reversed spans are empty");
+        assert_eq!(whole_steps(t, t + 500, MS), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn whole_steps_rejects_zero_step() {
+        let _ = whole_steps(SimTime::ZERO, SimTime::from_ms(1), 0);
     }
 }

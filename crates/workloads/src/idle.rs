@@ -1,7 +1,7 @@
 //! A permanently idle VM.
 
 use aql_hv::workload::{
-    ExecContext, GuestWorkload, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
+    ExecContext, GuestWorkload, Horizon, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
 };
 use aql_sim::time::SimTime;
 
@@ -41,6 +41,13 @@ impl GuestWorkload for IdleWorkload {
 
     fn runnable(&self, _slot: usize) -> bool {
         false
+    }
+
+    fn horizon(&self, _slot: usize, _now: SimTime) -> Horizon {
+        // Never runnable, so the question should not arise — but if a
+        // slot were ever dispatched it would block immediately, which
+        // is exactly what Unknown tells the engine to expect.
+        Horizon::Unknown
     }
 
     fn next_timer(&self, _slot: usize) -> Option<SimTime> {

@@ -21,7 +21,8 @@
 use std::collections::VecDeque;
 
 use aql_hv::workload::{
-    ExecContext, GuestWorkload, LatencySummary, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
+    ExecContext, GuestWorkload, Horizon, LatencySummary, RunOutcome, StopReason, TimerFire,
+    WorkloadMetrics,
 };
 use aql_mem::MemProfile;
 use aql_sim::rng::SimRng;
@@ -120,6 +121,11 @@ pub struct IoServer {
     dropped: u64,
     seq: u64,
     background_ns: u64,
+    /// Outstanding service demand: `current.remaining_ns` plus the
+    /// queued requests' remaining service. Maintained incrementally so
+    /// [`GuestWorkload::horizon`] is O(1) — the engine calls it on
+    /// every quiescent-span computation.
+    pending_service_ns: u64,
 }
 
 impl IoServer {
@@ -141,6 +147,7 @@ impl IoServer {
             dropped: 0,
             seq: 0,
             background_ns: 0,
+            pending_service_ns: 0,
         }
     }
 
@@ -209,6 +216,7 @@ impl GuestWorkload for IoServer {
             let _ = ctx.exec_mem(&profile, dt);
             used += dt;
             req.remaining_ns -= dt;
+            self.pending_service_ns -= dt;
             if req.remaining_ns == 0 {
                 let done_at = ctx.now + used;
                 self.latencies_ns
@@ -222,6 +230,28 @@ impl GuestWorkload for IoServer {
 
     fn runnable(&self, _slot: usize) -> bool {
         self.cfg.background.is_some() || self.current.is_some() || !self.queue.is_empty()
+    }
+
+    fn horizon(&self, _slot: usize, now: SimTime) -> Horizon {
+        // With CGI background work the vCPU always has CPU to burn and
+        // never blocks (the heterogeneous regime that defeats BOOST).
+        if self.cfg.background.is_some() {
+            return Horizon::Never;
+        }
+        // Exclusive IO blocks once the pending service demand is
+        // consumed; until then the server is pure CPU. New arrivals
+        // only extend the demand, so the bound stays sound.
+        debug_assert_eq!(
+            self.pending_service_ns,
+            self.current.map_or(0, |r| r.remaining_ns)
+                + self.queue.iter().map(|r| r.remaining_ns).sum::<u64>(),
+            "pending-service accounting drifted"
+        );
+        if self.pending_service_ns == 0 {
+            Horizon::Unknown
+        } else {
+            Horizon::At(now + self.pending_service_ns)
+        }
     }
 
     fn next_timer(&self, _slot: usize) -> Option<SimTime> {
@@ -241,6 +271,7 @@ impl GuestWorkload for IoServer {
                 arrival: self.next_arrival,
                 remaining_ns: cost,
             });
+            self.pending_service_ns += cost;
         }
         let gap = self.rng.exp_ns(1e9 / self.cfg.arrival_rate_hz).max(1);
         self.next_arrival = SimTime(self.next_arrival.as_ns() + gap);

@@ -7,7 +7,9 @@
 //! workload never blocks or yields: it is a pure CPU burner whose
 //! performance metric is retired instructions.
 
-use aql_hv::workload::{ExecContext, GuestWorkload, RunOutcome, TimerFire, WorkloadMetrics};
+use aql_hv::workload::{
+    ExecContext, GuestWorkload, Horizon, RunOutcome, TimerFire, WorkloadMetrics,
+};
 use aql_mem::{CacheSpec, MemProfile};
 use aql_sim::time::SimTime;
 
@@ -84,6 +86,12 @@ impl GuestWorkload for MemWalk {
 
     fn runnable(&self, _slot: usize) -> bool {
         true
+    }
+
+    fn horizon(&self, _slot: usize, _now: SimTime) -> Horizon {
+        // A pure CPU burner: it never blocks or yields, so the engine
+        // may fast-forward across it without limit.
+        Horizon::Never
     }
 
     fn next_timer(&self, _slot: usize) -> Option<SimTime> {

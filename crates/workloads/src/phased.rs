@@ -6,7 +6,9 @@
 //! consumes CPU, so vTRS must re-classify it online; it is used by the
 //! recognition tests and the `vtrs_live` example.
 
-use aql_hv::workload::{ExecContext, GuestWorkload, RunOutcome, TimerFire, WorkloadMetrics};
+use aql_hv::workload::{
+    ExecContext, GuestWorkload, Horizon, RunOutcome, TimerFire, WorkloadMetrics,
+};
 use aql_mem::MemProfile;
 use aql_sim::time::SimTime;
 
@@ -90,6 +92,12 @@ impl GuestWorkload for PhasedMemWalk {
 
     fn runnable(&self, _slot: usize) -> bool {
         true
+    }
+
+    fn horizon(&self, _slot: usize, _now: SimTime) -> Horizon {
+        // Phase shifts happen inside `run` and never release the pCPU:
+        // the walker burns CPU forever, whatever profile it is in.
+        Horizon::Never
     }
 
     fn next_timer(&self, _slot: usize) -> Option<SimTime> {
@@ -181,6 +189,7 @@ mod tests {
             rng: &mut rng,
             owner: 0,
             running_slots: &running,
+            lean: false,
         };
         let out = w.run(0, 25 * MS, &mut ctx);
         assert_eq!(out.used_ns, 25 * MS);

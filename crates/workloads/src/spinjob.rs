@@ -30,7 +30,7 @@
 
 use aql_hv::spinlock::TicketLock;
 use aql_hv::workload::{
-    ExecContext, GuestWorkload, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
+    ExecContext, GuestWorkload, Horizon, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
 };
 use aql_mem::MemProfile;
 use aql_sim::rng::SimRng;
@@ -376,6 +376,22 @@ impl GuestWorkload for SpinJob {
 
     fn runnable(&self, _slot: usize) -> bool {
         true
+    }
+
+    fn horizon(&self, _slot: usize, _now: SimTime) -> Horizon {
+        // Waiters "consume their entire quantum to carry out an active
+        // standby" (§3.3.2): without the directed-yield mitigation a
+        // thread burns CPU unconditionally — spinning, working or in a
+        // critical section. Lock handoffs and barrier crossings are
+        // slot-to-slot state changes inside `run`, which the engine's
+        // sub-step grid resolves identically in both time modes. With
+        // yield_on_ple a spin window may end in a directed yield at an
+        // instant that depends on co-runners, so no promise is sound.
+        if self.cfg.yield_on_ple {
+            Horizon::Unknown
+        } else {
+            Horizon::Never
+        }
     }
 
     fn next_timer(&self, _slot: usize) -> Option<SimTime> {

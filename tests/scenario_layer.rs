@@ -94,6 +94,7 @@ fn sweep_aggregate_is_thread_count_independent_on_catalog_entries() {
         seeds: 1,
         threads,
         quick: true,
+        ..SweepConfig::default()
     };
     let serial = run_sweep(&names, &cfg(1)).expect("serial sweep");
     let parallel = run_sweep(&names, &cfg(4)).expect("parallel sweep");

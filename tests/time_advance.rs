@@ -1,0 +1,218 @@
+//! Conformance and property tests of the event-horizon time-advance
+//! core: `TimeMode::Adaptive` must be observationally identical to the
+//! dense oracle — byte-identical reports, a monotone clock, and not a
+//! single scheduled event skipped or reordered.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use aql_sched::hv::workload::{
+    ExecContext, GuestWorkload, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
+};
+use aql_sched::hv::{MachineSpec, SimulationBuilder, TimeMode, VmSpec};
+use aql_sched::mem::CacheSpec;
+use aql_sched::scenarios::{catalog, policy_applicable, policy_for, run_seeded_in};
+use aql_sched::sim::time::{SimTime, MS, SEC, US};
+use proptest::prelude::*;
+
+/// The conformance matrix: a catalog subset covering every horizon
+/// kind (Never walkers and spin jobs, At mail servers, Unknown
+/// exclusive IO, idle VMs, phased shape-shifters) crossed with
+/// policies covering every span-limiting mechanism (long Xen quanta,
+/// microsliced sub-step-scale quanta, vSlicer kick deadlines, and
+/// AQL's per-class pools).
+const CONFORMANCE_SCENARIOS: [&str; 5] = [
+    "quickstart",
+    "vtrs-live",
+    "solo-calibration",
+    "nightly-lull",
+    "webfarm-oversub",
+];
+const CONFORMANCE_POLICIES: [&str; 4] = ["xen-credit", "microsliced", "vslicer", "aql-sched"];
+
+#[test]
+fn adaptive_reports_are_byte_identical_to_dense_on_the_catalog() {
+    for name in CONFORMANCE_SCENARIOS {
+        let spec = catalog::load(name).expect("catalog entry").quick();
+        for policy in CONFORMANCE_POLICIES {
+            if !policy_applicable(&spec, policy) {
+                continue;
+            }
+            let run = |mode: TimeMode| {
+                let p = policy_for(&spec, policy).expect("known policy");
+                run_seeded_in(&spec, p, spec.seed, mode)
+            };
+            let dense = format!("{:?}", run(TimeMode::Dense));
+            let adaptive = format!("{:?}", run(TimeMode::Adaptive));
+            assert_eq!(
+                dense, adaptive,
+                "time modes diverged on {name} under {policy}"
+            );
+        }
+    }
+}
+
+/// A pure timer workload: always blocked, fires every `period_ns`,
+/// recording each delivery so tests can assert that no scheduled event
+/// is skipped and that delivery times never regress.
+struct TimerProbe {
+    period_ns: u64,
+    next: SimTime,
+    fired: Arc<AtomicU64>,
+    last_seen: SimTime,
+    regressions: Arc<AtomicU64>,
+}
+
+impl TimerProbe {
+    fn new(period_ns: u64, fired: Arc<AtomicU64>, regressions: Arc<AtomicU64>) -> Self {
+        TimerProbe {
+            period_ns,
+            next: SimTime(period_ns),
+            fired,
+            last_seen: SimTime::ZERO,
+            regressions,
+        }
+    }
+}
+
+impl GuestWorkload for TimerProbe {
+    fn name(&self) -> &str {
+        "timer-probe"
+    }
+    fn vcpu_slots(&self) -> usize {
+        1
+    }
+    fn run(&mut self, _slot: usize, _budget_ns: u64, _ctx: &mut ExecContext<'_>) -> RunOutcome {
+        RunOutcome {
+            used_ns: 0,
+            stop: StopReason::Blocked,
+        }
+    }
+    fn runnable(&self, _slot: usize) -> bool {
+        false
+    }
+    fn next_timer(&self, _slot: usize) -> Option<SimTime> {
+        Some(self.next)
+    }
+    fn on_timer(&mut self, _slot: usize, now: SimTime) -> TimerFire {
+        if now < self.next {
+            return TimerFire::default();
+        }
+        if now < self.last_seen {
+            self.regressions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.last_seen = now;
+        self.fired.fetch_add(1, Ordering::Relaxed);
+        self.next += self.period_ns;
+        TimerFire::default()
+    }
+    fn metrics(&self) -> WorkloadMetrics {
+        WorkloadMetrics::None
+    }
+}
+
+/// Builds a machine with CPU hogs (whose horizons let the adaptive
+/// mode fast-forward) plus a timer probe, runs it to `end` in the
+/// given `run_until` increments, and returns (deliveries, regressions,
+/// final now, report digest).
+fn run_probed(
+    mode: TimeMode,
+    cores: usize,
+    hogs: usize,
+    period_ns: u64,
+    increments: &[u64],
+    seed: u64,
+) -> (u64, u64, SimTime, String) {
+    let cache = CacheSpec::i7_3770();
+    let fired = Arc::new(AtomicU64::new(0));
+    let regressions = Arc::new(AtomicU64::new(0));
+    let mut b = SimulationBuilder::new(MachineSpec::custom("probe", 1, cores, cache))
+        .seed(seed)
+        .time_mode(mode)
+        .vm(
+            VmSpec::single("probe"),
+            Box::new(TimerProbe::new(
+                period_ns,
+                Arc::clone(&fired),
+                Arc::clone(&regressions),
+            )),
+        );
+    for i in 0..hogs {
+        b = b.vm(
+            VmSpec::single(&format!("hog-{i}")),
+            Box::new(aql_sched::workloads::MemWalk::lolcf(
+                &format!("hog-{i}"),
+                &cache,
+            )),
+        );
+    }
+    let mut sim = b.build();
+    let mut last = SimTime::ZERO;
+    for &inc in increments {
+        sim.run_for(inc);
+        assert!(sim.now() >= last, "clock moved backwards");
+        last = sim.now();
+    }
+    (
+        fired.load(Ordering::Relaxed),
+        regressions.load(Ordering::Relaxed),
+        sim.now(),
+        format!("{:?}", sim.report()),
+    )
+}
+
+#[test]
+fn no_timer_is_skipped_while_fast_forwarding() {
+    // Hogs report Horizon::Never, so the engine fast-forwards hard;
+    // the probe's timers must still all fire, in order, in both modes.
+    let increments = [SEC];
+    let (fired_a, regress_a, now_a, rep_a) =
+        run_probed(TimeMode::Adaptive, 2, 2, 3 * MS, &increments, 5);
+    let (fired_d, regress_d, now_d, rep_d) =
+        run_probed(TimeMode::Dense, 2, 2, 3 * MS, &increments, 5);
+    assert_eq!(now_a, now_d);
+    assert_eq!(regress_a, 0);
+    assert_eq!(regress_d, 0);
+    // 1 s of 3 ms timers: all ~333 deliveries happen in both modes.
+    assert_eq!(fired_a, fired_d, "a fast-forwarded span skipped timers");
+    assert!(fired_a >= 330, "probe barely fired: {fired_a}");
+    assert_eq!(rep_a, rep_d, "reports diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Over random machines, probe periods and run_until partitions:
+    /// the clock is monotone and lands exactly on every target, no
+    /// scheduled timer is skipped or regressed, and the adaptive mode
+    /// reproduces the dense mode byte for byte — including mid-span
+    /// stop boundaries, which cut execution chunks at arbitrary
+    /// instants.
+    #[test]
+    fn horizon_advancement_is_monotone_eventful_and_conformant(
+        cores in 1usize..4,
+        hogs in 0usize..5,
+        period_us in 500u64..20_000,
+        increments in prop::collection::vec(1_000u64..400_000_000, 1..6),
+        seed in 1u64..500,
+    ) {
+        let period = period_us * US;
+        let adaptive = run_probed(TimeMode::Adaptive, cores, hogs, period, &increments, seed);
+        let dense = run_probed(TimeMode::Dense, cores, hogs, period, &increments, seed);
+        // Same clock, same deliveries, same report, no regressions.
+        prop_assert_eq!(adaptive.2, dense.2);
+        let expected_end = SimTime(increments.iter().sum());
+        prop_assert_eq!(adaptive.2, expected_end);
+        prop_assert_eq!(adaptive.1, 0);
+        prop_assert_eq!(dense.1, 0);
+        prop_assert_eq!(adaptive.0, dense.0);
+        // Deliveries match the schedule: one per whole period elapsed
+        // (the engine may defer a due timer by at most one event hop).
+        let expected = expected_end.as_ns() / period;
+        prop_assert!(
+            adaptive.0 >= expected.saturating_sub(1) && adaptive.0 <= expected + 1,
+            "deliveries {} far from schedule {}", adaptive.0, expected
+        );
+        prop_assert_eq!(adaptive.3, dense.3);
+    }
+}
