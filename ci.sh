@@ -38,4 +38,24 @@ step "perf smoke: full catalog in both time modes (asserts byte-identical tables
 cargo run --release -p aql_experiments --bin sweep -- \
     --time-mode both --bench-json BENCH_sweep.json > /dev/null
 
+step "figure goldens: full conformance set in release (incl. the heavy debug-ignored artifacts)"
+# Every deterministic `repro` artifact must stay byte-identical to the
+# committed pre-plan-layer goldens (tests/goldens/).
+cargo test --release --test figure_goldens -- --include-ignored
+
+step "repro smoke: deterministic artifacts byte-identical across --threads 1 vs 4; wall times -> BENCH_sweep.json"
+# The wall-clock artifacts (overhead, scalability, ablations' scaling
+# table) are excluded: their *measurements* vary run to run by design.
+# The two --bench-json calls record repro_quick_threads{1,4} next to
+# the sweep numbers, pinning the plan runner's parallel speedup.
+REPRO_DET="fig2 fig4 fig5 fig6left fig6right fig7 fig8 table3 table5 table6 fairness"
+cargo run --release -p aql_experiments --bin repro -- \
+    --quick --threads 1 --bench-json BENCH_sweep.json $REPRO_DET \
+    > /tmp/ci_repro_t1.txt 2> /dev/null
+cargo run --release -p aql_experiments --bin repro -- \
+    --quick --threads 4 --bench-json BENCH_sweep.json $REPRO_DET \
+    > /tmp/ci_repro_t4.txt 2> /dev/null
+diff /tmp/ci_repro_t1.txt /tmp/ci_repro_t4.txt
+rm -f /tmp/ci_repro_t1.txt /tmp/ci_repro_t4.txt
+
 step "all checks passed"

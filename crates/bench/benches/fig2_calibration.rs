@@ -1,11 +1,8 @@
 //! Fig. 2 calibration panels as Criterion benches: each iteration runs
 //! a miniature calibration scenario (one panel, one quantum).
 
-use aql_baselines::xen_credit;
-use aql_bench::run_quick;
-use aql_experiments::fig2::{panel_scenario, Panel};
-use aql_hv::policy::FixedQuantumPolicy;
-use aql_sim::time::MS;
+use aql_bench::run_quick_token;
+use aql_experiments::fig2::{panel_spec, Panel};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -15,16 +12,13 @@ fn bench_fig2(c: &mut Criterion) {
     for panel in [Panel::ExclusiveIo, Panel::ConSpin, Panel::Llcf] {
         group.bench_function(format!("panel_{}_xen30ms_k4", panel.letter()), |b| {
             b.iter(|| {
-                let r = run_quick(panel_scenario(panel, 4), Box::new(xen_credit()));
+                let r = run_quick_token(panel_spec(panel, 4), "xen-credit");
                 black_box(r.total_cpu_ns())
             })
         });
         group.bench_function(format!("panel_{}_1ms_k4", panel.letter()), |b| {
             b.iter(|| {
-                let r = run_quick(
-                    panel_scenario(panel, 4),
-                    Box::new(FixedQuantumPolicy::new(MS)),
-                );
+                let r = run_quick_token(panel_spec(panel, 4), "fixed/1ms");
                 black_box(r.total_cpu_ns())
             })
         });

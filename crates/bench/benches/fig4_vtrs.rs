@@ -11,7 +11,8 @@ fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_vtrs");
     group.sample_size(10);
     group.bench_function("trace_libquantum_quick", |b| {
-        b.iter(|| black_box(trace_app("libquantum", true).rows.len()))
+        let opts = aql_experiments::ExecOpts::serial();
+        b.iter(|| black_box(trace_app("libquantum", true, &opts).rows.len()))
     });
 
     // The §4.3 hot path: one vTRS observation pass over 48 vCPUs.

@@ -2,9 +2,8 @@
 //! class swept through its quantum extremes (miniature version of the
 //! full validation sweep).
 
-use aql_bench::run_quick;
-use aql_experiments::fig5::catalog_scenario;
-use aql_hv::policy::FixedQuantumPolicy;
+use aql_bench::run_quick_token;
+use aql_experiments::fig5::catalog_spec;
 use aql_sim::time::MS;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -16,7 +15,8 @@ fn bench_fig5(c: &mut Criterion) {
         for q in [MS, 90 * MS] {
             group.bench_function(format!("{app}_{}", aql_sim::time::fmt_dur(q)), |b| {
                 b.iter(|| {
-                    let r = run_quick(catalog_scenario(app), Box::new(FixedQuantumPolicy::new(q)));
+                    let token = format!("fixed/{}", aql_sim::time::fmt_dur(q));
+                    let r = run_quick_token(catalog_spec(app), &token);
                     black_box(r.total_cpu_ns())
                 })
             });

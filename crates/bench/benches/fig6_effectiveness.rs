@@ -2,10 +2,8 @@
 //! AQL_Sched (miniature effectiveness comparison), plus the 4-socket
 //! Fig. 3 case.
 
-use aql_baselines::xen_credit;
-use aql_bench::run_quick;
-use aql_core::AqlSched;
-use aql_experiments::fig6::{aql_for_fig3, fig3_scenario, scenario, usable_sockets, RestrictedXen};
+use aql_bench::run_quick_token;
+use aql_experiments::fig6::{fig3_spec, scenario_spec, GUEST_SOCKETS};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -13,26 +11,22 @@ fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_effectiveness");
     group.sample_size(10);
     group.bench_function("s5_xen", |b| {
-        b.iter(|| black_box(run_quick(scenario(5), Box::new(xen_credit())).total_cpu_ns()))
+        b.iter(|| black_box(run_quick_token(scenario_spec(5), "xen-credit").total_cpu_ns()))
     });
     group.bench_function("s5_aql", |b| {
-        b.iter(|| {
-            black_box(run_quick(scenario(5), Box::new(AqlSched::paper_defaults())).total_cpu_ns())
-        })
+        b.iter(|| black_box(run_quick_token(scenario_spec(5), "aql-sched").total_cpu_ns()))
     });
     group.bench_function("fig3_xen_restricted", |b| {
         b.iter(|| {
-            black_box(
-                run_quick(
-                    fig3_scenario(),
-                    Box::new(RestrictedXen::new(usable_sockets())),
-                )
-                .total_cpu_ns(),
-            )
+            let token = format!("xen-credit/sockets={GUEST_SOCKETS}");
+            black_box(run_quick_token(fig3_spec(), &token).total_cpu_ns())
         })
     });
     group.bench_function("fig3_aql", |b| {
-        b.iter(|| black_box(run_quick(fig3_scenario(), Box::new(aql_for_fig3())).total_cpu_ns()))
+        b.iter(|| {
+            let token = format!("aql-sched/sockets={GUEST_SOCKETS}");
+            black_box(run_quick_token(fig3_spec(), &token).total_cpu_ns())
+        })
     });
     group.finish();
 }

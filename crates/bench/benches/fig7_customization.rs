@@ -1,30 +1,27 @@
 //! Fig. 7 as a Criterion bench: the quantum-customisation ablation —
 //! full AQL_Sched versus clustering-only with a uniform quantum.
 
-use aql_bench::run_quick;
-use aql_core::{AqlSched, AqlSchedConfig};
-use aql_experiments::fig6::{fig3_scenario, usable_sockets};
-use aql_sim::time::MS;
+use aql_bench::run_quick_token;
+use aql_experiments::fig6::{fig3_spec, GUEST_SOCKETS};
+use aql_sim::time::{fmt_dur, MS};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-
-fn aql(uniform: Option<u64>) -> AqlSched {
-    AqlSched::new(AqlSchedConfig {
-        usable_sockets: Some(usable_sockets()),
-        uniform_quantum: uniform,
-        ..AqlSchedConfig::default()
-    })
-}
 
 fn bench_fig7(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_customization");
     group.sample_size(10);
     group.bench_function("full_aql", |b| {
-        b.iter(|| black_box(run_quick(fig3_scenario(), Box::new(aql(None))).total_cpu_ns()))
+        b.iter(|| {
+            let token = format!("aql-sched/sockets={GUEST_SOCKETS}");
+            black_box(run_quick_token(fig3_spec(), &token).total_cpu_ns())
+        })
     });
     for (q, label) in [(MS, "small"), (30 * MS, "medium"), (90 * MS, "large")] {
         group.bench_function(format!("clustering_only_{label}"), |b| {
-            b.iter(|| black_box(run_quick(fig3_scenario(), Box::new(aql(Some(q)))).total_cpu_ns()))
+            b.iter(|| {
+                let token = format!("aql-sched/sockets={GUEST_SOCKETS},uniform={}", fmt_dur(q));
+                black_box(run_quick_token(fig3_spec(), &token).total_cpu_ns())
+            })
         });
     }
     group.finish();

@@ -1,42 +1,18 @@
 //! Fig. 8 as a Criterion bench: scenario S5 under each comparator
 //! policy (vTurbo, vSlicer, Microsliced, AQL_Sched).
 
-use aql_baselines::{Microsliced, VSlicer, VTurbo};
-use aql_bench::run_quick;
-use aql_core::AqlSched;
-use aql_experiments::fig6::scenario;
-use aql_experiments::fig8::s5_io_vms;
-use aql_hv::SchedPolicy;
+use aql_bench::run_quick_token;
+use aql_experiments::fig6::scenario_spec;
+use aql_experiments::fig8::COMPARATORS;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-
-type PolicyCtor = Box<dyn Fn() -> Box<dyn SchedPolicy>>;
 
 fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_comparison");
     group.sample_size(10);
-    let io_names = s5_io_vms();
-    let policies: Vec<(&str, PolicyCtor)> = vec![
-        ("vturbo", {
-            let io = io_names.clone();
-            Box::new(move || {
-                let refs: Vec<&str> = io.iter().map(|s| s.as_str()).collect();
-                Box::new(VTurbo::new(&refs))
-            })
-        }),
-        ("microsliced", Box::new(|| Box::new(Microsliced::default()))),
-        ("vslicer", {
-            let io = io_names.clone();
-            Box::new(move || {
-                let refs: Vec<&str> = io.iter().map(|s| s.as_str()).collect();
-                Box::new(VSlicer::new(&refs))
-            })
-        }),
-        ("aql", Box::new(|| Box::new(AqlSched::paper_defaults()))),
-    ];
-    for (name, make) in policies {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run_quick(scenario(5), make()).total_cpu_ns()))
+    for token in COMPARATORS {
+        group.bench_function(token, |b| {
+            b.iter(|| black_box(run_quick_token(scenario_spec(5), token).total_cpu_ns()))
         });
     }
     group.finish();

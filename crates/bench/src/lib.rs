@@ -8,24 +8,32 @@
 #![warn(missing_docs)]
 
 use aql_hv::{RunReport, SchedPolicy};
+use aql_scenarios::ScenarioSpec;
 
-use aql_experiments::Scenario;
+/// Runs a declarative scenario in quick mode under a policy; used by
+/// the figure benches so each iteration is a complete miniature
+/// experiment.
+pub fn run_quick(spec: ScenarioSpec, policy: Box<dyn SchedPolicy>) -> RunReport {
+    aql_scenarios::run(&spec.quick(), policy)
+}
 
-/// Runs a scenario in quick mode under a policy; used by the figure
-/// benches so each iteration is a complete miniature experiment.
-pub fn run_quick(scenario: Scenario, policy: Box<dyn SchedPolicy>) -> RunReport {
-    scenario.quick().run(policy)
+/// Like [`run_quick`] but resolving the policy from its registry
+/// token (e.g. `"fixed/1ms"`, `"aql-sched/sockets=1-3"`).
+pub fn run_quick_token(spec: ScenarioSpec, policy: &str) -> RunReport {
+    let spec = spec.quick();
+    let policy = aql_scenarios::policy_for(&spec, policy)
+        .unwrap_or_else(|| panic!("invalid policy token '{policy}'"));
+    aql_scenarios::run(&spec, policy)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aql_baselines::xen_credit;
-    use aql_experiments::fig2::{panel_scenario, Panel};
+    use aql_experiments::fig2::{panel_spec, Panel};
 
     #[test]
     fn quick_runner_produces_reports() {
-        let r = run_quick(panel_scenario(Panel::Lolcf, 2), Box::new(xen_credit()));
+        let r = run_quick_token(panel_spec(Panel::Lolcf, 2), "xen-credit");
         assert_eq!(r.vms.len(), 2);
     }
 }

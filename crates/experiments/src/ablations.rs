@@ -5,148 +5,148 @@
 //!
 //! * [`lock_fabric`] — FIFO ticket lock vs test-and-set: the
 //!   lock-waiter-preemption pathology (\[39\] in the paper) that strict
-//!   FIFO hand-off adds under consolidation.
+//!   FIFO hand-off adds under consolidation (`spin/…/fifo` token).
 //! * [`ple_yield`] — PLE directed yield on/off: how much of the spin
-//!   waste a hypervisor-side yield recovers at each quantum.
+//!   waste a hypervisor-side yield recovers at each quantum
+//!   (`spin/…/ple` token).
 //! * [`vtrs_window`] — the recognition window `n`: reactivity versus
-//!   stability (the paper settles on n = 4, §3.3.1).
+//!   stability (the paper settles on n = 4, §3.3.1;
+//!   `aql-sched/window=<n>` token).
 //! * [`boost`] — Xen's BOOST: exclusive-IO latency with wake-up
-//!   boosting disabled (the paper's §3.4.2 discussion of Fig. 2(a)).
+//!   boosting disabled (the paper's §3.4.2 discussion of Fig. 2(a);
+//!   `io/noboost` token).
 //! * [`substep`] — engine fidelity: key metrics under coarser/finer
 //!   co-simulation sub-steps (a model-validity check, not a paper
-//!   artifact).
+//!   artifact; `with_substep_ns` overlay).
 
-use aql_baselines::xen_credit;
-use aql_core::{AqlSched, AqlSchedConfig, VtrsConfig};
 use aql_hv::apptype::VcpuType;
-use aql_hv::policy::FixedQuantumPolicy;
-use aql_hv::workload::{GuestWorkload, WorkloadMetrics};
-use aql_hv::VmSpec;
-use aql_mem::CacheSpec;
+use aql_hv::workload::WorkloadMetrics;
+use aql_scenarios::ScenarioSpec;
 use aql_sim::time::{fmt_dur, MS, US};
-use aql_workloads::{IoServer, IoServerCfg, SpinJob, SpinJobCfg};
+use aql_workloads::WorkloadSpec;
 
-use crate::emit::Table;
-use crate::fig2::{panel_scenario, Panel};
-use crate::fig6::scenario;
-use crate::runner::{Scenario, ScenarioVm};
+use crate::emit::{fmt_ratio, Table};
+use crate::fig2::{panel_spec, Panel};
+use crate::fig6::scenario_spec;
+use crate::plan::{class_mean_norm, execute, ExecOpts, PlanCell, Probe, ProbeOut};
 
-fn spin_scenario(fifo: bool, yield_on_ple: bool) -> Scenario {
-    let mut s = panel_scenario(Panel::ConSpin, 4);
-    // Replace the baseline VM with one using the requested lock fabric.
-    s.vms[0] = ScenarioVm::new(VcpuType::ConSpin, move |seed| {
-        let cfg = SpinJobCfg {
-            fifo_lock: fifo,
-            yield_on_ple,
-            ..SpinJobCfg::kernbench(2)
-        };
-        let spec = VmSpec {
-            weight: 512,
-            ..VmSpec::smp("baseline", 2)
-        };
-        (
-            spec,
-            Box::new(SpinJob::new("baseline", cfg, seed)) as Box<dyn GuestWorkload>,
-        )
-    });
+/// The ConSpin calibration cell with the baseline VM's lock fabric
+/// overridden: the spec is data, so the ablation just swaps the
+/// workload token.
+fn spin_spec(fifo: bool, yield_on_ple: bool) -> ScenarioSpec {
+    let mut s = panel_spec(Panel::ConSpin, 4);
+    let flags = match (fifo, yield_on_ple) {
+        (false, false) => String::new(),
+        (true, false) => "/fifo".into(),
+        (false, true) => "/ple".into(),
+        (true, true) => "/fifo+ple".into(),
+    };
+    s.vms[0].workloads =
+        vec![WorkloadSpec::parse(&format!("spin/kernbench/2{flags}")).expect("valid spin token")];
     s
 }
 
-/// FIFO ticket lock vs test-and-set under consolidation.
-pub fn lock_fabric(quick: bool) -> Table {
-    let mut table = Table::new(
-        "Ablation: lock fabric (ConSpin items, higher is better)",
-        &["quantum", "test-and-set", "fifo ticket", "fifo/tas"],
-    );
-    for q in [MS, 30 * MS, 90 * MS] {
-        let mut items = Vec::new();
-        for fifo in [false, true] {
-            let mut s = spin_scenario(fifo, false);
+/// Shared shape of the two lock ablations: quantum rows × two workload
+/// variants, reporting ConSpin throughput and the variant ratio.
+fn spin_ablation(
+    title: &str,
+    columns: [&str; 3],
+    variant: impl Fn(bool) -> ScenarioSpec,
+    quick: bool,
+    opts: &ExecOpts,
+) -> Table {
+    let quanta = [MS, 30 * MS, 90 * MS];
+    let mut cells = Vec::new();
+    for q in quanta {
+        for on in [false, true] {
+            let mut s = variant(on);
             if quick {
                 s = s.quick();
             }
-            let report = s.run(Box::new(FixedQuantumPolicy::new(q)));
-            let WorkloadMetrics::Spin { work_items, .. } = report.vms[0].metrics else {
-                panic!("expected Spin metrics");
-            };
-            items.push(work_items);
+            cells.push(PlanCell::new(s, &format!("fixed/{}", fmt_dur(q))));
         }
+    }
+    let results = execute(&cells, opts).expect("spin ablation plan is well-formed");
+    let mut table = Table::new(title, &["quantum", columns[0], columns[1], columns[2]]);
+    for (row, q) in quanta.iter().enumerate() {
+        let items: Vec<u64> = (0..2)
+            .map(|i| {
+                let report = results[row * 2 + i].report.as_ref().expect("cell ran");
+                let WorkloadMetrics::Spin { work_items, .. } = report.vms[0].metrics else {
+                    panic!("expected Spin metrics");
+                };
+                work_items
+            })
+            .collect();
         table.row(vec![
-            fmt_dur(q),
+            fmt_dur(*q),
             items[0].to_string(),
             items[1].to_string(),
             format!("{:.2}", items[1] as f64 / items[0].max(1) as f64),
         ]);
     }
     table
+}
+
+/// FIFO ticket lock vs test-and-set under consolidation.
+pub fn lock_fabric(quick: bool, opts: &ExecOpts) -> Table {
+    spin_ablation(
+        "Ablation: lock fabric (ConSpin items, higher is better)",
+        ["test-and-set", "fifo ticket", "fifo/tas"],
+        |fifo| spin_spec(fifo, false),
+        quick,
+        opts,
+    )
 }
 
 /// PLE directed yield on/off.
-pub fn ple_yield(quick: bool) -> Table {
-    let mut table = Table::new(
+pub fn ple_yield(quick: bool, opts: &ExecOpts) -> Table {
+    spin_ablation(
         "Ablation: PLE directed yield (ConSpin items, higher is better)",
-        &["quantum", "no yield", "directed yield", "yield/no-yield"],
-    );
-    for q in [MS, 30 * MS, 90 * MS] {
-        let mut items = Vec::new();
-        for yield_on_ple in [false, true] {
-            let mut s = spin_scenario(false, yield_on_ple);
-            if quick {
-                s = s.quick();
-            }
-            let report = s.run(Box::new(FixedQuantumPolicy::new(q)));
-            let WorkloadMetrics::Spin { work_items, .. } = report.vms[0].metrics else {
-                panic!("expected Spin metrics");
-            };
-            items.push(work_items);
-        }
-        table.row(vec![
-            fmt_dur(q),
-            items[0].to_string(),
-            items[1].to_string(),
-            format!("{:.2}", items[1] as f64 / items[0].max(1) as f64),
-        ]);
-    }
-    table
+        ["no yield", "directed yield", "yield/no-yield"],
+        |ple| spin_spec(false, ple),
+        quick,
+        opts,
+    )
 }
 
 /// The vTRS window `n`: migrations and IO latency on scenario S5.
-pub fn vtrs_window(quick: bool) -> Table {
+pub fn vtrs_window(quick: bool, opts: &ExecOpts) -> Table {
+    let windows = [1usize, 2, 4, 8];
+    let mut base = scenario_spec(5);
+    if quick {
+        base = base.quick();
+    }
+    let mut cells = vec![PlanCell::new(base.clone(), "xen-credit")];
+    for n in windows {
+        cells.push(
+            PlanCell::new(base.clone(), &format!("aql-sched/window={n}"))
+                .with_probe(Probe::Reclusterings),
+        );
+    }
+    let results = execute(&cells, opts).expect("vtrs-window plan is well-formed");
+    let xen = results[0].report.as_ref().expect("xen cell ran");
+    let classes = aql_scenarios::classes(&base);
     let mut table = Table::new(
         "Ablation: vTRS window n (scenario S5)",
         &["n", "reclusterings", "pool migrations", "IOInt norm vs Xen"],
     );
-    let mut base = scenario(5);
-    if quick {
-        base = base.quick();
-    }
-    let xen = base.run(Box::new(xen_credit()));
-    for n in [1usize, 2, 4, 8] {
-        let cfg = AqlSchedConfig {
-            vtrs: VtrsConfig {
-                window: n,
-                ..VtrsConfig::default()
-            },
-            ..AqlSchedConfig::default()
+    for (n, result) in windows.iter().zip(&results[1..]) {
+        let report = result.report.as_ref().expect("aql cell ran");
+        let Some(ProbeOut::Reclusterings(reclusterings)) = result.probe else {
+            panic!("window cell must yield a recluster count");
         };
-        let sim = base.run_sim(Box::new(AqlSched::new(cfg)));
-        let report = sim.report();
-        let policy = sim
-            .policy()
-            .as_any()
-            .downcast_ref::<AqlSched>()
-            .expect("AqlSched");
         let migrations: u64 = report
             .vms
             .iter()
             .flat_map(|v| v.vcpu_pool_migrations.iter())
             .sum();
-        let io_norm = crate::runner::class_normalized(&base, &report, &xen, VcpuType::IoInt);
+        let io_norm = class_mean_norm(report, xen, &classes, Some(VcpuType::IoInt));
         table.row(vec![
             n.to_string(),
-            policy.reclusterings().to_string(),
+            reclusterings.to_string(),
             migrations.to_string(),
-            crate::emit::fmt_ratio(io_norm),
+            fmt_ratio(io_norm),
         ]);
     }
     table
@@ -154,8 +154,26 @@ pub fn vtrs_window(quick: bool) -> Table {
 
 /// BOOST's contribution: exclusive IO latency with and without wake-up
 /// boosting. Without BOOST the wake waits a round-robin turn, so the
-/// latency approaches (co-runners × quantum).
-pub fn boost(quick: bool) -> Table {
+/// latency approaches (co-runners × quantum). "Boost off" is the
+/// `io/noboost` workload token: a server that never blocks (its wakes
+/// never qualify for BOOST), with identical arrivals and service.
+pub fn boost(quick: bool, opts: &ExecOpts) -> Table {
+    let quanta = [MS, 30 * MS, 90 * MS];
+    let mut cells = Vec::new();
+    for q in quanta {
+        for boosted in [true, false] {
+            let mut s = panel_spec(Panel::ExclusiveIo, 4);
+            if !boosted {
+                s.vms[0].workloads =
+                    vec![WorkloadSpec::parse("io/noboost/150").expect("valid io token")];
+            }
+            if quick {
+                s = s.quick();
+            }
+            cells.push(PlanCell::new(s, &format!("fixed/{}", fmt_dur(q))));
+        }
+    }
+    let results = execute(&cells, opts).expect("boost plan is well-formed");
     let mut table = Table::new(
         "Ablation: BOOST (exclusive-IO mean latency, ms)",
         &[
@@ -164,46 +182,35 @@ pub fn boost(quick: bool) -> Table {
             "boost off (never-blocked co-runner wakes)",
         ],
     );
-    // "Boost off" is emulated by a server that never blocks (its wakes
-    // never qualify for BOOST), with identical arrivals and service.
-    for q in [MS, 30 * MS, 90 * MS] {
-        let mut row = vec![fmt_dur(q)];
-        for boosted in [true, false] {
-            let mut s = panel_scenario(Panel::ExclusiveIo, 4);
-            if !boosted {
-                s.vms[0] = ScenarioVm::new(VcpuType::IoInt, |seed| {
-                    let base = IoServerCfg::exclusive(150.0);
-                    let cfg = IoServerCfg {
-                        background: Some(aql_mem::MemProfile {
-                            wss_bytes: 16 * 1024,
-                            deep_refs_per_instr: 0.001,
-                            base_ns_per_instr: 0.40,
-                        }),
-                        ..base
-                    };
-                    (
-                        VmSpec::single("baseline"),
-                        Box::new(IoServer::new("baseline", cfg, seed)) as Box<dyn GuestWorkload>,
-                    )
-                });
-            }
-            if quick {
-                s = s.quick();
-            }
-            let report = s.run(Box::new(FixedQuantumPolicy::new(q)));
+    for (row, q) in quanta.iter().enumerate() {
+        let mut out = vec![fmt_dur(*q)];
+        for i in 0..2 {
+            let report = results[row * 2 + i].report.as_ref().expect("cell ran");
             let WorkloadMetrics::Io { latency, .. } = &report.vms[0].metrics else {
                 panic!("expected Io metrics");
             };
-            row.push(format!("{:.2}", latency.mean_ns / 1e6));
+            out.push(format!("{:.2}", latency.mean_ns / 1e6));
         }
-        table.row(row);
+        table.row(out);
     }
     table
 }
 
 /// Engine fidelity: key directional metrics under different
 /// co-simulation sub-steps.
-pub fn substep(quick: bool) -> Table {
+pub fn substep(quick: bool, opts: &ExecOpts) -> Table {
+    let substeps = [50 * US, 100 * US, 250 * US, 500 * US];
+    let cells: Vec<PlanCell> = substeps
+        .iter()
+        .map(|&sub| {
+            let mut s = scenario_spec(5).with_substep_ns(sub);
+            if quick {
+                s = s.quick();
+            }
+            PlanCell::new(s, "aql-sched")
+        })
+        .collect();
+    let results = execute(&cells, opts).expect("substep plan is well-formed");
     let mut table = Table::new(
         "Ablation: engine sub-step (S5 under AQL, key metrics)",
         &[
@@ -213,30 +220,23 @@ pub fn substep(quick: bool) -> Table {
             "utilisation",
         ],
     );
-    for sub in [50 * US, 100 * US, 250 * US, 500 * US] {
-        let mut s = scenario(5);
-        s.substep_ns = sub;
-        if quick {
-            s = s.quick();
-        }
-        let report = s.run(Box::new(AqlSched::paper_defaults()));
+    for (sub, result) in substeps.iter().zip(&results) {
+        let report = result.report.as_ref().expect("substep cell ran");
         let mut lat = 0.0;
         let mut n = 0.0;
         let mut items = 0u64;
-        for (i, vm) in report.vms.iter().enumerate() {
+        for vm in &report.vms {
             match &vm.metrics {
                 WorkloadMetrics::Io { latency, .. } => {
                     lat += latency.mean_ns;
                     n += 1.0;
                 }
                 WorkloadMetrics::Spin { work_items, .. } => items += work_items,
-                _ => {
-                    let _ = i;
-                }
+                _ => {}
             }
         }
         table.row(vec![
-            fmt_dur(sub),
+            fmt_dur(*sub),
             format!("{:.2}", lat / n / 1e6),
             items.to_string(),
             format!("{:.3}", report.utilisation()),
@@ -247,6 +247,8 @@ pub fn substep(quick: bool) -> Table {
 
 /// §4.3 scalability: simulation cost and policy cost as the machine
 /// and population grow; the policy side must scale as O(max(m, n)).
+/// Runs sequentially (it *measures* wall-clock, so it must not share
+/// workers) over generated specs.
 pub fn scalability() -> Table {
     use std::time::Instant;
     let mut table = Table::new(
@@ -261,53 +263,55 @@ pub fn scalability() -> Table {
     );
     for sockets in [1usize, 2, 4, 8] {
         let cores = 4;
-        let machine = aql_hv::MachineSpec::custom(
-            &format!("scale-{sockets}s"),
-            sockets,
-            cores,
-            CacheSpec::xeon_e5_4603(),
-        );
         let vcpus = sockets * cores * 4;
-        let mut vms: Vec<ScenarioVm> = Vec::new();
+        let mut doc = format!(
+            "scenario   = scale-{sockets}\n\
+             machine    = name=scale-{sockets}s sockets={sockets} cores={cores} cache=xeon-e5-4603\n\
+             warmup_ms  = 200\n\
+             measure_ms = 1000\n"
+        );
         for i in 0..vcpus {
             match i % 4 {
-                0 => vms.push(crate::fig6::io_vm(&format!("web-{i}"))),
-                1 => vms.push(crate::fig6::walk_vm(VcpuType::Llcf, &format!("llcf-{i}"))),
-                2 => vms.push(crate::fig6::walk_vm(VcpuType::Lolcf, &format!("lolcf-{i}"))),
-                _ => vms.push(crate::fig6::walk_vm(VcpuType::Llco, &format!("llco-{i}"))),
+                0 => doc.push_str(&format!(
+                    "vm web-{i} workload=io/heterogeneous/120 seed={}\n",
+                    42 + i
+                )),
+                1 => doc.push_str(&format!("vm llcf-{i} workload=walk/llcf cache=i7-3770\n")),
+                2 => doc.push_str(&format!("vm lolcf-{i} workload=walk/lolcf cache=i7-3770\n")),
+                _ => doc.push_str(&format!("vm llco-{i} workload=walk/llco cache=i7-3770\n")),
             }
         }
-        let mut s = Scenario::new(&format!("scale-{sockets}"), machine, vms);
-        s.warmup_ns = 200 * MS;
-        s.measure_ns = aql_sim::time::SEC;
+        let spec = ScenarioSpec::parse(&doc).expect("generated scale spec is well-formed");
         let t0 = Instant::now();
-        let sim = s.run_sim(Box::new(AqlSched::paper_defaults()));
+        let results = execute(
+            &[PlanCell::new(spec.clone(), "aql-sched").with_probe(Probe::Reclusterings)],
+            &ExecOpts::serial(),
+        )
+        .expect("scalability plan is well-formed");
         let wall = t0.elapsed().as_secs_f64();
-        let sim_s = (s.warmup_ns + s.measure_ns) as f64 / 1e9;
-        let policy = sim
-            .policy()
-            .as_any()
-            .downcast_ref::<AqlSched>()
-            .expect("AqlSched");
+        let sim_s = (spec.warmup_ns + spec.measure_ns) as f64 / 1e9;
+        let Some(ProbeOut::Reclusterings(reclusterings)) = results[0].probe else {
+            panic!("scalability cell must yield a recluster count");
+        };
         table.row(vec![
             sockets.to_string(),
             (sockets * cores).to_string(),
             vcpus.to_string(),
             format!("{:.0}", wall / sim_s * 1e3),
-            policy.reclusterings().to_string(),
+            reclusterings.to_string(),
         ]);
     }
     table
 }
 
 /// Runs every ablation.
-pub fn run_all(quick: bool) -> Vec<Table> {
+pub fn run_all(quick: bool, opts: &ExecOpts) -> Vec<Table> {
     vec![
-        lock_fabric(quick),
-        ple_yield(quick),
-        vtrs_window(quick),
-        boost(quick),
-        substep(quick),
+        lock_fabric(quick, opts),
+        ple_yield(quick, opts),
+        vtrs_window(quick, opts),
+        boost(quick, opts),
+        substep(quick, opts),
         scalability(),
     ]
 }
@@ -318,7 +322,7 @@ mod tests {
 
     #[test]
     fn lock_fabric_table_shape() {
-        let t = lock_fabric(true);
+        let t = lock_fabric(true, &ExecOpts::default());
         assert_eq!(t.rows.len(), 3);
         assert_eq!(t.headers.len(), 4);
     }

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] <command>
+//! repro [--quick] [--threads N] [--time-mode M] [--bench-json PATH] <command>...
 //!
 //! commands:
 //!   fig2            calibration panels (a)-(f) + lock-duration inset
@@ -20,53 +20,55 @@
 //!   table6          qualitative feature matrix
 //!   overhead        vTRS + clustering cost (§4.3)
 //!   fairness        Jain fairness under AQL vs Xen
+//!   ablations       design-choice ablations + scalability
+//!   scalability     §4.3 scalability only
 //!   all             everything above
+//!
+//! options:
+//!   --quick           shorten warm-up/measurement (CI smoke)
+//!   --threads N       worker threads for the experiment plans
+//!                     (default: all cores; output is byte-identical
+//!                     across thread counts)
+//!   --time-mode M     adaptive (default) or dense time advance;
+//!                     output is byte-identical across modes
+//!   --bench-json PATH record this invocation's wall time under a
+//!                     "repro_…" key in the given JSON file (the CI
+//!                     smoke tracks BENCH_sweep.json)
 //! ```
 //!
 //! Each table is printed to stdout and saved as CSV under `results/`.
 
 use std::process::ExitCode;
 
-use aql_experiments::emit::results_dir;
-use aql_experiments::{ablations, fig2, fig4, fig5, fig6, fig7, fig8, tables, Table};
+use aql_experiments::emit::{save_and_print, update_bench_json};
+use aql_experiments::{ablations, fig2, fig4, fig5, fig6, fig7, fig8, tables, ExecOpts, Table};
+use aql_scenarios::TimeMode;
 
-fn save_and_print(tables: &[Table]) {
-    let dir = results_dir();
-    for t in tables {
-        t.print();
-        match t.save_csv(&dir) {
-            Ok(path) => println!("(saved {})", path.display()),
-            Err(e) => eprintln!("warning: could not save CSV: {e}"),
-        }
-        println!();
-    }
-}
-
-fn run(cmd: &str, quick: bool) -> Result<Vec<Table>, String> {
+fn run(cmd: &str, quick: bool, opts: &ExecOpts) -> Result<Vec<Table>, String> {
     Ok(match cmd {
-        "fig2" => fig2::run_all(quick),
-        "fig2a" => vec![fig2::run_panel(fig2::Panel::ExclusiveIo, quick)],
-        "fig2b" => vec![fig2::run_panel(fig2::Panel::HeterogeneousIo, quick)],
-        "fig2c" => vec![fig2::run_panel(fig2::Panel::ConSpin, quick)],
-        "fig2d" => vec![fig2::run_panel(fig2::Panel::Llcf, quick)],
-        "fig2e" => vec![fig2::run_panel(fig2::Panel::Lolcf, quick)],
-        "fig2f" => vec![fig2::run_panel(fig2::Panel::Llco, quick)],
-        "fig2lock" => vec![fig2::run_lock_inset(quick)],
-        "fig4" => fig4::run(quick),
-        "fig5" => vec![fig5::run(&[], quick)],
-        "fig6left" => vec![fig6::run_left(quick)],
+        "fig2" => fig2::run_all(quick, opts),
+        "fig2a" => vec![fig2::run_panel(fig2::Panel::ExclusiveIo, quick, opts)],
+        "fig2b" => vec![fig2::run_panel(fig2::Panel::HeterogeneousIo, quick, opts)],
+        "fig2c" => vec![fig2::run_panel(fig2::Panel::ConSpin, quick, opts)],
+        "fig2d" => vec![fig2::run_panel(fig2::Panel::Llcf, quick, opts)],
+        "fig2e" => vec![fig2::run_panel(fig2::Panel::Lolcf, quick, opts)],
+        "fig2f" => vec![fig2::run_panel(fig2::Panel::Llco, quick, opts)],
+        "fig2lock" => vec![fig2::run_lock_inset(quick, opts)],
+        "fig4" => fig4::run(quick, opts),
+        "fig5" => vec![fig5::run(&[], quick, opts)],
+        "fig6left" => vec![fig6::run_left(quick, opts)],
         "fig6right" => {
-            let (norm, clusters) = fig6::run_right(quick);
+            let (norm, clusters) = fig6::run_right(quick, opts);
             vec![norm, clusters]
         }
-        "fig7" => vec![fig7::run(quick)],
-        "fig8" => vec![fig8::run(quick)],
-        "table3" => vec![tables::table3(quick)],
-        "table5" => vec![tables::table5(quick)],
+        "fig7" => vec![fig7::run(quick, opts)],
+        "fig8" => vec![fig8::run(quick, opts)],
+        "table3" => vec![tables::table3(quick, opts)],
+        "table5" => vec![tables::table5(quick, opts)],
         "table6" => vec![tables::table6()],
         "overhead" => vec![tables::overhead()],
-        "fairness" => vec![tables::fairness(quick)],
-        "ablations" => ablations::run_all(quick),
+        "fairness" => vec![tables::fairness(quick, opts)],
+        "ablations" => ablations::run_all(quick, opts),
         "scalability" => vec![ablations::scalability()],
         other => return Err(format!("unknown command '{other}'")),
     })
@@ -89,18 +91,72 @@ const ALL: [&str; 14] = [
     "scalability",
 ];
 
+fn usage() {
+    eprintln!(
+        "usage: repro [--quick] [--threads N] [--time-mode adaptive|dense] \
+         [--bench-json PATH] <command>..."
+    );
+    eprintln!("commands: {} | all", ALL.join(" | "));
+    eprintln!("          fig2a..fig2f fig2lock (individual panels)");
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = if let Some(pos) = args.iter().position(|a| a == "--quick") {
-        args.remove(pos);
-        true
-    } else {
-        false
-    };
+    let mut quick = false;
+    let mut opts = ExecOpts::default();
+    let mut bench_json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> Option<String> {
+            if i + 1 < args.len() {
+                args.remove(i); // the flag
+                Some(args.remove(i)) // its value
+            } else {
+                eprintln!("error: {flag} needs a value");
+                None
+            }
+        };
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                args.remove(i);
+            }
+            "--threads" => {
+                let Some(v) = take_value(&mut args, i, "--threads") else {
+                    return ExitCode::FAILURE;
+                };
+                match v.parse() {
+                    Ok(n) => opts.threads = n,
+                    Err(_) => {
+                        eprintln!("error: --threads needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--time-mode" => {
+                let Some(v) = take_value(&mut args, i, "--time-mode") else {
+                    return ExitCode::FAILURE;
+                };
+                match v.as_str() {
+                    "adaptive" => opts.time_mode = TimeMode::Adaptive,
+                    "dense" => opts.time_mode = TimeMode::Dense,
+                    other => {
+                        eprintln!("error: --time-mode must be adaptive or dense, got '{other}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--bench-json" => {
+                let Some(v) = take_value(&mut args, i, "--bench-json") else {
+                    return ExitCode::FAILURE;
+                };
+                bench_json = Some(v);
+            }
+            _ => i += 1,
+        }
+    }
     if args.is_empty() {
-        eprintln!("usage: repro [--quick] <command>...");
-        eprintln!("commands: {} | all", ALL.join(" | "));
-        eprintln!("          fig2a..fig2f fig2lock (individual panels)");
+        usage();
         return ExitCode::FAILURE;
     }
     let cmds: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -108,14 +164,45 @@ fn main() -> ExitCode {
     } else {
         args.iter().map(|s| s.as_str()).collect()
     };
-    for c in cmds {
+    let t0 = std::time::Instant::now();
+    for c in &cmds {
         eprintln!(">> {c}{}", if quick { " (quick)" } else { "" });
-        match run(c, quick) {
+        match run(c, quick, &opts) {
             Ok(tables) => save_and_print(&tables),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(path) = bench_json {
+        // One key per (quick, threads, time-mode) shape so the CI
+        // smoke can record the 1-thread and N-thread runs side by
+        // side, and a dense-oracle run cannot overwrite an adaptive
+        // timing.
+        let key = format!(
+            "repro_{}threads{}{}",
+            if quick { "quick_" } else { "" },
+            if opts.threads == 0 {
+                "auto".to_string()
+            } else {
+                opts.threads.to_string()
+            },
+            if opts.time_mode == TimeMode::Dense {
+                "_dense"
+            } else {
+                ""
+            }
+        );
+        let value = format!(
+            "{{\"commands\": {}, \"wall_ms\": {:.3}}}",
+            cmds.len(),
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+        if let Err(e) = update_bench_json(std::path::Path::new(&path), &key, &value) {
+            eprintln!("warning: could not update {path}: {e}");
+        } else {
+            eprintln!("(recorded {key} in {path})");
         }
     }
     ExitCode::SUCCESS

@@ -29,7 +29,7 @@
 
 use std::process::ExitCode;
 
-use aql_experiments::emit::results_dir;
+use aql_experiments::emit::save_and_print;
 use aql_experiments::sweep::{run_sweep, SweepConfig, SweepOutcome};
 use aql_scenarios::{catalog, TimeMode};
 
@@ -266,11 +266,7 @@ fn main() -> ExitCode {
     }
     match run_sweep(&cli.names, &cli.cfg) {
         Ok(outcome) => {
-            outcome.table.print();
-            match outcome.table.save_csv(&results_dir()) {
-                Ok(path) => println!("(saved {})", path.display()),
-                Err(e) => eprintln!("warning: could not save CSV: {e}"),
-            }
+            save_and_print(std::slice::from_ref(&outcome.table));
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -72,6 +72,19 @@ impl Table {
         println!();
     }
 
+    /// Renders the table as a CSV document (headers first, RFC-4180
+    /// quoting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_line(&self.headers));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&csv_line(r));
+            out.push('\n');
+        }
+        out
+    }
+
     /// Writes the table as CSV under `dir` (created if missing); the
     /// file name is derived from the title. Returns the path.
     pub fn save_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
@@ -84,10 +97,7 @@ impl Table {
             .collect();
         let path = dir.join(format!("{stem}.csv"));
         let mut f = fs::File::create(&path)?;
-        writeln!(f, "{}", csv_line(&self.headers))?;
-        for r in &self.rows {
-            writeln!(f, "{}", csv_line(r))?;
-        }
+        f.write_all(self.to_csv().as_bytes())?;
         Ok(path)
     }
 }
@@ -96,7 +106,7 @@ fn csv_line(cells: &[String]) -> String {
     cells
         .iter()
         .map(|c| {
-            if c.contains(',') || c.contains('"') {
+            if c.contains(',') || c.contains('"') || c.contains('\n') || c.contains('\r') {
                 format!("\"{}\"", c.replace('"', "\"\""))
             } else {
                 c.clone()
@@ -119,6 +129,91 @@ pub fn fmt_f(v: f64, prec: usize) -> String {
 /// The default output directory for CSV series.
 pub fn results_dir() -> PathBuf {
     PathBuf::from("results")
+}
+
+/// The shared binary-output path: prints each table to stdout and
+/// saves it as CSV under [`results_dir`], announcing the file (both
+/// `repro` and `sweep` emit through this helper).
+pub fn save_and_print(tables: &[Table]) {
+    let dir = results_dir();
+    for t in tables {
+        t.print();
+        match t.save_csv(&dir) {
+            Ok(path) => println!("(saved {})", path.display()),
+            Err(e) => eprintln!("warning: could not save CSV: {e}"),
+        }
+        println!();
+    }
+}
+
+/// Inserts or replaces one top-level key in a JSON document on disk,
+/// keeping the rest of the file byte-for-byte intact. `value` must be
+/// a serialised JSON value. The file must hold a JSON object (or not
+/// exist yet — it is then created as `{key: value}`). This string-level
+/// editor exists so the `sweep` and `repro` binaries can share
+/// `BENCH_sweep.json` without a JSON parser dependency.
+pub fn update_bench_json(path: &Path, key: &str, value: &str) -> std::io::Result<()> {
+    let doc = match fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::from("{\n}\n"),
+        Err(e) => return Err(e),
+    };
+    let entry = format!("\"{key}\": {value}");
+    let open = doc.find('{').ok_or(std::io::ErrorKind::InvalidData)?;
+    let close = doc.rfind('}').ok_or(std::io::ErrorKind::InvalidData)?;
+    let body = &doc[open + 1..close];
+    // Drop an existing entry for the key (top-level only: entries are
+    // split at top-level commas by brace/bracket/quote depth).
+    let mut parts: Vec<String> = Vec::new();
+    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+    let mut cur = String::new();
+    for c in body.chars() {
+        if in_str {
+            cur.push(c);
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                cur.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' | ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    let needle = format!("\"{key}\"");
+    parts.retain(|p| !p.trim_start().starts_with(&needle));
+    parts.push(format!("\n  {entry}"));
+    let rebuilt = format!(
+        "{}{{{}\n}}\n",
+        &doc[..open],
+        parts
+            .iter()
+            .map(|p| p.trim_end().to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    fs::write(path, rebuilt)
 }
 
 #[cfg(test)]
@@ -172,5 +267,44 @@ mod tests {
         assert_eq!(fmt_ratio(Some(1.234)), "1.23");
         assert_eq!(fmt_ratio(None), "-");
         assert_eq!(fmt_f(0.5, 3), "0.500");
+    }
+
+    #[test]
+    fn csv_quotes_embedded_newlines() {
+        assert_eq!(csv_line(&["a\nb".to_string()]), "\"a\nb\"");
+        assert_eq!(csv_line(&["a\rb".to_string()]), "\"a\rb\"");
+        let mut t = Table::new("nl", &["v"]);
+        t.row(vec!["two\nlines".into()]);
+        assert_eq!(t.to_csv(), "v\n\"two\nlines\"\n");
+    }
+
+    #[test]
+    fn bench_json_inserts_and_replaces_keys() {
+        let dir = std::env::temp_dir().join("aql_bench_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        // Creates the file when missing.
+        update_bench_json(&path, "alpha", "{\"wall_ms\": 1.5}").unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"alpha\": {\"wall_ms\": 1.5}"), "{doc}");
+        // Adds a second key next to an existing one with nested
+        // arrays/objects left intact.
+        std::fs::write(
+            &path,
+            "{\n  \"speedup\": 1.2,\n  \"per_scenario\": [\n    {\"a\": 1}\n  ]\n}\n",
+        )
+        .unwrap();
+        update_bench_json(&path, "repro", "{\"wall_ms\": 3.25}").unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"speedup\": 1.2"), "{doc}");
+        assert!(doc.contains("{\"a\": 1}"), "{doc}");
+        assert!(doc.contains("\"repro\": {\"wall_ms\": 3.25}"), "{doc}");
+        // Replaces on re-record instead of duplicating.
+        update_bench_json(&path, "repro", "{\"wall_ms\": 4.0}").unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(doc.matches("\"repro\"").count(), 1, "{doc}");
+        assert!(doc.contains("{\"wall_ms\": 4.0}"), "{doc}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -5,49 +5,23 @@
 //! {1, 10, 30, 60, 90} ms; values are normalised over the 30 ms run
 //! (smaller is better). The rightmost inset measures the average lock
 //! duration of the ConSpin benchmark against the quantum length.
+//!
+//! Each panel is an experiment plan: the scenario is a generated
+//! [`ScenarioSpec`] (the measured VM plus its fillers on a one-core
+//! machine), the quantum axis is the `fixed/<dur>` policy token, and
+//! the fold normalises over the panel's `xen-credit` baseline cell.
 
-use aql_baselines::xen_credit;
-use aql_hv::apptype::VcpuType;
-use aql_hv::policy::FixedQuantumPolicy;
-use aql_hv::workload::{GuestWorkload, WorkloadMetrics};
-use aql_hv::{MachineSpec, VmSpec};
-use aql_mem::CacheSpec;
+use aql_hv::workload::WorkloadMetrics;
+use aql_scenarios::ScenarioSpec;
 use aql_sim::time::{fmt_dur, MS};
-use aql_workloads::{IoServer, IoServerCfg, MemWalk, SpinJob, SpinJobCfg};
 
 use crate::emit::{fmt_ratio, Table};
-use crate::runner::{cost_of, normalized, Scenario, ScenarioVm};
+use crate::plan::{cost_of, execute, normalized, CellResult, ExecOpts, PlanCell};
 
 /// The calibration sweep: {1, 10, 30, 60, 90} ms.
 pub const QUANTA: [u64; 5] = [MS, 10 * MS, 30 * MS, 60 * MS, 90 * MS];
 /// The normalisation baseline (Xen default).
 pub const BASE_QUANTUM: u64 = 30 * MS;
-
-fn one_core() -> MachineSpec {
-    MachineSpec::custom("calib-1core", 1, 1, CacheSpec::i7_3770())
-}
-
-fn lolcf_filler(i: usize) -> ScenarioVm {
-    ScenarioVm::new(VcpuType::Lolcf, move |_| {
-        let spec = CacheSpec::i7_3770();
-        let name = format!("filler-lolcf-{i}");
-        (
-            VmSpec::single(&name),
-            Box::new(MemWalk::lolcf(&name, &spec)) as Box<dyn GuestWorkload>,
-        )
-    })
-}
-
-fn llco_filler(i: usize) -> ScenarioVm {
-    ScenarioVm::new(VcpuType::Llco, move |_| {
-        let spec = CacheSpec::i7_3770();
-        let name = format!("filler-llco-{i}");
-        (
-            VmSpec::single(&name),
-            Box::new(MemWalk::llco(&name, &spec)) as Box<dyn GuestWorkload>,
-        )
-    })
-}
 
 /// The six calibration panels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +65,18 @@ impl Panel {
         }
     }
 
+    /// The measured VM's workload token.
+    fn baseline_workload(self) -> &'static str {
+        match self {
+            Panel::ExclusiveIo => "io/exclusive/150",
+            Panel::HeterogeneousIo => "io/heterogeneous/120",
+            Panel::ConSpin => "spin/kernbench/2",
+            Panel::Llcf => "walk/llcf",
+            Panel::Lolcf => "walk/lolcf",
+            Panel::Llco => "walk/llco",
+        }
+    }
+
     /// All panels in paper order.
     pub const ALL: [Panel; 6] = [
         Panel::ExclusiveIo,
@@ -102,129 +88,104 @@ impl Panel {
     ];
 }
 
-/// The ConSpin job used for calibration (kernbench-like worker
-/// threads with 60 ms barrier phases, as PARSEC kernels are
-/// structured).
-pub fn calibration_spin_cfg(threads: usize) -> SpinJobCfg {
-    SpinJobCfg::kernbench(threads)
-}
-
-/// Builds the panel's scenario for `k` vCPUs sharing the pCPU.
-pub fn panel_scenario(panel: Panel, k: usize) -> Scenario {
+/// Builds the panel's scenario for `k` vCPUs sharing the pCPU: the
+/// measured VM (explicit seed 42, the historic base) plus neutral
+/// fillers — trashing (`walk/llco`) disturbers for the cache-friendly
+/// panels, low-level-cache walkers for everyone else.
+pub fn panel_spec(panel: Panel, k: usize) -> ScenarioSpec {
     assert!(k >= 2, "calibration shares a pCPU between at least 2 vCPUs");
-    let mut vms: Vec<ScenarioVm> = Vec::new();
-    let fillers_needed: usize = match panel {
-        Panel::ExclusiveIo => {
-            vms.push(ScenarioVm::new(VcpuType::IoInt, |seed| {
-                (
-                    VmSpec::single("baseline"),
-                    Box::new(IoServer::new(
-                        "baseline",
-                        IoServerCfg::exclusive(150.0),
-                        seed,
-                    )) as Box<dyn GuestWorkload>,
-                )
-            }));
-            k - 1
-        }
-        Panel::HeterogeneousIo => {
-            vms.push(ScenarioVm::new(VcpuType::IoInt, |seed| {
-                (
-                    VmSpec::single("baseline"),
-                    Box::new(IoServer::new(
-                        "baseline",
-                        IoServerCfg::heterogeneous(120.0),
-                        seed,
-                    )) as Box<dyn GuestWorkload>,
-                )
-            }));
-            k - 1
-        }
-        Panel::ConSpin => {
-            vms.push(ScenarioVm::new(VcpuType::ConSpin, |seed| {
-                // Weight proportional to vCPU count, the standard
-                // sizing, so each vCPU earns a full single-VM share.
-                let spec = VmSpec {
-                    weight: 512,
-                    ..VmSpec::smp("baseline", 2)
-                };
-                (
-                    spec,
-                    Box::new(SpinJob::new("baseline", calibration_spin_cfg(2), seed))
-                        as Box<dyn GuestWorkload>,
-                )
-            }));
-            k - 2
-        }
-        Panel::Llcf => {
-            vms.push(ScenarioVm::new(VcpuType::Llcf, |_| {
-                let spec = CacheSpec::i7_3770();
-                (
-                    VmSpec::single("baseline"),
-                    Box::new(MemWalk::llcf("baseline", &spec)) as Box<dyn GuestWorkload>,
-                )
-            }));
-            k - 1
-        }
-        Panel::Lolcf => {
-            vms.push(ScenarioVm::new(VcpuType::Lolcf, |_| {
-                let spec = CacheSpec::i7_3770();
-                (
-                    VmSpec::single("baseline"),
-                    Box::new(MemWalk::lolcf("baseline", &spec)) as Box<dyn GuestWorkload>,
-                )
-            }));
-            k - 1
-        }
-        Panel::Llco => {
-            vms.push(ScenarioVm::new(VcpuType::Llco, |_| {
-                let spec = CacheSpec::i7_3770();
-                (
-                    VmSpec::single("baseline"),
-                    Box::new(MemWalk::llco("baseline", &spec)) as Box<dyn GuestWorkload>,
-                )
-            }));
-            k - 1
-        }
+    let fillers = match panel {
+        Panel::ConSpin => k - 2,
+        _ => k - 1,
     };
-    for i in 0..fillers_needed {
-        // LLCF needs disturbers (the paper's trashing co-runners);
-        // everyone else shares with neutral low-level-cache fillers.
-        let filler = match panel {
-            Panel::Llcf | Panel::Llco => llco_filler(i),
-            _ => lolcf_filler(i),
-        };
-        vms.push(filler);
+    let filler_class = match panel {
+        Panel::Llcf | Panel::Llco => "llco",
+        _ => "lolcf",
+    };
+    let mut doc = format!(
+        "scenario   = fig2{}-k{k}\n\
+         machine    = name=calib-1core sockets=1 cores=1 cache=i7-3770\n\
+         vm baseline workload={} seed=42\n",
+        panel.letter(),
+        panel.baseline_workload(),
+    );
+    // The grammar requires %i iff count > 1, so a single filler gets
+    // its expanded name spelled out.
+    match fillers {
+        0 => {}
+        1 => doc.push_str(&format!(
+            "vm filler-{filler_class}-0 workload=walk/{filler_class}\n"
+        )),
+        n => doc.push_str(&format!(
+            "vm filler-{filler_class}-%i count={n} workload=walk/{filler_class}\n"
+        )),
     }
-    Scenario::new(&format!("fig2{}-k{k}", panel.letter()), one_core(), vms)
+    ScenarioSpec::parse(&doc).expect("generated panel spec is well-formed")
 }
 
-/// Measures one panel: normalised cost per quantum for each sharing
+/// The shared calibration cell layout (used by fig2 and fig5): the
+/// `xen-credit` baseline followed by every non-baseline quantum as a
+/// `fixed/<dur>` cell — [`QUANTUM_CELLS`] cells per spec.
+pub(crate) fn quantum_cells(spec: &ScenarioSpec) -> Vec<PlanCell> {
+    let mut cells = vec![PlanCell::new(spec.clone(), "xen-credit")];
+    for q in QUANTA {
+        if q != BASE_QUANTUM {
+            cells.push(PlanCell::new(
+                spec.clone(),
+                &format!("fixed/{}", fmt_dur(q)),
+            ));
+        }
+    }
+    cells
+}
+
+/// Cells per [`quantum_cells`] span: the baseline replaces the
+/// [`BASE_QUANTUM`] run, so the span is exactly one cell per quantum.
+pub(crate) const QUANTUM_CELLS: usize = QUANTA.len();
+
+/// Folds one executed [`quantum_cells`] span into the measured VM's
+/// normalised cost per quantum ([`QUANTA`] order; exactly 1.0 at the
+/// baseline quantum).
+pub(crate) fn fold_quanta(results: &[CellResult]) -> Vec<Option<f64>> {
+    let base_cost = results[0].report.as_ref().and_then(|r| cost_of(r, 0));
+    let mut next = 1;
+    QUANTA
+        .iter()
+        .map(|&q| {
+            if q == BASE_QUANTUM {
+                return Some(1.0);
+            }
+            let cost = results[next].report.as_ref().and_then(|r| cost_of(r, 0));
+            next += 1;
+            normalized(cost, base_cost)
+        })
+        .collect()
+}
+
+/// The cells of one panel: one [`quantum_cells`] span per sharing
 /// level `k ∈ {2, 4}`.
-pub fn run_panel(panel: Panel, quick: bool) -> Table {
+fn panel_cells(panel: Panel, quick: bool) -> Vec<PlanCell> {
+    let mut cells = Vec::new();
+    for k in [2usize, 4] {
+        let mut spec = panel_spec(panel, k);
+        if quick {
+            spec = spec.quick();
+        }
+        cells.extend(quantum_cells(&spec));
+    }
+    cells
+}
+
+/// Folds one panel's executed cells (layout of [`panel_cells`]) into
+/// its table: normalised cost per quantum for each sharing level.
+fn fold_panel(panel: Panel, results: &[CellResult]) -> Table {
     let mut table = Table::new(
         &format!("Fig2({}) {}", panel.letter(), panel.title()),
         &["quantum", "norm k=2", "norm k=4"],
     );
-    let mut cols: Vec<Vec<Option<f64>>> = Vec::new();
-    for k in [2usize, 4] {
-        let mut scenario = panel_scenario(panel, k);
-        if quick {
-            scenario = scenario.quick();
-        }
-        let baseline = scenario.run(Box::new(xen_credit()));
-        let base_cost = cost_of(&baseline, 0);
-        let mut col = Vec::new();
-        for q in QUANTA {
-            if q == BASE_QUANTUM {
-                col.push(Some(1.0));
-                continue;
-            }
-            let report = scenario.run(Box::new(FixedQuantumPolicy::new(q)));
-            col.push(normalized(cost_of(&report, 0), base_cost));
-        }
-        cols.push(col);
-    }
+    let cols: Vec<Vec<Option<f64>>> = (0..2)
+        .map(|k_idx| fold_quanta(&results[k_idx * QUANTUM_CELLS..][..QUANTUM_CELLS]))
+        .collect();
     for (i, q) in QUANTA.iter().enumerate() {
         table.row(vec![
             fmt_dur(*q),
@@ -235,9 +196,35 @@ pub fn run_panel(panel: Panel, quick: bool) -> Table {
     table
 }
 
-/// The lock-duration inset: average observed lock duration (µs) of the
-/// ConSpin benchmark versus quantum length, 4 vCPUs sharing the pCPU.
-pub fn run_lock_inset(quick: bool) -> Table {
+/// Measures one panel: normalised cost per quantum for each sharing
+/// level `k ∈ {2, 4}`.
+pub fn run_panel(panel: Panel, quick: bool, opts: &ExecOpts) -> Table {
+    let results = execute(&panel_cells(panel, quick), opts).expect("panel plan is well-formed");
+    fold_panel(panel, &results)
+}
+
+/// The inset's quantum axis.
+const INSET_QUANTA: [u64; 4] = [20 * MS, 40 * MS, 60 * MS, 80 * MS];
+
+fn inset_cells(quick: bool) -> Vec<PlanCell> {
+    INSET_QUANTA
+        .iter()
+        .map(|&q| {
+            let spec = panel_spec(Panel::ConSpin, 4);
+            let spec = if quick {
+                spec.quick()
+            } else {
+                // Holder-preemption events are sparse at large quanta;
+                // a long window gives the hold statistics enough of
+                // them.
+                spec.with_measure_ns(24 * aql_sim::time::SEC)
+            };
+            PlanCell::new(spec, &format!("fixed/{}", fmt_dur(q)))
+        })
+        .collect()
+}
+
+fn fold_inset(results: &[CellResult]) -> Table {
     let mut table = Table::new(
         "Fig2(inset) lock duration vs quantum",
         &[
@@ -247,16 +234,8 @@ pub fn run_lock_inset(quick: bool) -> Table {
             "mean wait (us)",
         ],
     );
-    for q in [20 * MS, 40 * MS, 60 * MS, 80 * MS] {
-        let mut scenario = panel_scenario(Panel::ConSpin, 4);
-        if quick {
-            scenario = scenario.quick();
-        } else {
-            // Holder-preemption events are sparse at large quanta;
-            // a long window gives the hold statistics enough of them.
-            scenario.measure_ns = 24 * aql_sim::time::SEC;
-        }
-        let report = scenario.run(Box::new(FixedQuantumPolicy::new(q)));
+    for (q, result) in INSET_QUANTA.iter().zip(results) {
+        let report = result.report.as_ref().expect("inset cell ran");
         let WorkloadMetrics::Spin {
             lock_hold_mean_ns,
             lock_hold_max_ns,
@@ -267,7 +246,7 @@ pub fn run_lock_inset(quick: bool) -> Table {
             panic!("ConSpin panel must produce Spin metrics");
         };
         table.row(vec![
-            fmt_dur(q),
+            fmt_dur(*q),
             format!("{:.1}", lock_hold_mean_ns / 1e3),
             format!("{:.1}", lock_hold_max_ns / 1e3),
             format!("{:.1}", lock_wait_mean_ns / 1e3),
@@ -276,13 +255,34 @@ pub fn run_lock_inset(quick: bool) -> Table {
     table
 }
 
-/// Runs the full figure: all six panels plus the inset.
-pub fn run_all(quick: bool) -> Vec<Table> {
-    let mut out: Vec<Table> = Panel::ALL
-        .into_iter()
-        .map(|p| run_panel(p, quick))
-        .collect();
-    out.push(run_lock_inset(quick));
+/// The lock-duration inset: average observed lock duration (µs) of the
+/// ConSpin benchmark versus quantum length, 4 vCPUs sharing the pCPU.
+pub fn run_lock_inset(quick: bool, opts: &ExecOpts) -> Table {
+    let results = execute(&inset_cells(quick), opts).expect("inset plan is well-formed");
+    fold_inset(&results)
+}
+
+/// Runs the full figure — all six panels plus the inset — as one plan
+/// so every cell shares the worker pool.
+pub fn run_all(quick: bool, opts: &ExecOpts) -> Vec<Table> {
+    let mut cells = Vec::new();
+    let mut spans: Vec<usize> = Vec::new();
+    for panel in Panel::ALL {
+        let c = panel_cells(panel, quick);
+        spans.push(c.len());
+        cells.extend(c);
+    }
+    let inset = inset_cells(quick);
+    spans.push(inset.len());
+    cells.extend(inset);
+    let results = execute(&cells, opts).expect("fig2 plan is well-formed");
+    let mut out = Vec::new();
+    let mut offset = 0;
+    for (panel, span) in Panel::ALL.into_iter().zip(&spans) {
+        out.push(fold_panel(panel, &results[offset..offset + span]));
+        offset += span;
+    }
+    out.push(fold_inset(&results[offset..]));
     out
 }
 
@@ -291,17 +291,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn panel_scenarios_have_k_vcpus() {
+    fn panel_specs_have_k_vcpus() {
         for panel in Panel::ALL {
             for k in [2usize, 4] {
-                let s = panel_scenario(panel, k);
-                let total: usize = s
-                    .vms
-                    .iter()
-                    .enumerate()
-                    .map(|(i, vm)| (vm.factory)(i as u64).0.vcpus)
-                    .sum();
-                assert_eq!(total, k, "panel {panel:?} k={k}");
+                let s = panel_spec(panel, k);
+                assert_eq!(s.total_vcpus(), k, "panel {panel:?} k={k}");
+                assert_eq!(s.machine.cores_per_socket, 1);
             }
         }
     }
@@ -318,7 +313,7 @@ mod tests {
     fn quick_llcf_panel_prefers_long_quanta() {
         // Shape check on the smallest panel run: normalised LLCF cost
         // at 1 ms must exceed the cost at 90 ms.
-        let t = run_panel(Panel::Llcf, true);
+        let t = run_panel(Panel::Llcf, true, &ExecOpts::default());
         let parse = |s: &str| s.parse::<f64>().unwrap();
         let at_1ms = parse(&t.rows[0][2]);
         let at_90ms = parse(&t.rows[4][2]);

@@ -5,13 +5,19 @@
 //! libquantum → LLCO), 50 monitoring periods of per-type cursor values
 //! are recorded while the application runs consolidated. The type
 //! whose curve sits on top is the recognised one.
+//!
+//! Each trace is one plan cell: the Fig. 5 consolidation spec with a
+//! zero warm-up overlay (the recognition transient is the point), the
+//! `aql-sched/history=50` policy token, and a
+//! [`Probe::CursorHistory`] shipping the recorded cursors out of the
+//! worker.
 
-use aql_core::{AqlSched, AqlSchedConfig};
 use aql_sim::time::{MS, SEC};
 use aql_workloads::find_app;
 
 use crate::emit::Table;
-use crate::fig5::catalog_scenario;
+use crate::fig5::catalog_spec;
+use crate::plan::{execute, ExecOpts, PlanCell, Probe, ProbeOut};
 
 /// The five representative applications of Fig. 4, paper order.
 pub const REPRESENTATIVES: [&str; 5] = [
@@ -25,43 +31,48 @@ pub const REPRESENTATIVES: [&str; 5] = [
 /// Monitoring periods recorded per application.
 pub const PERIODS: usize = 50;
 
-/// Records the cursor traces of one application's vCPU 0.
-pub fn trace_app(app: &str, quick: bool) -> Table {
-    let entry = find_app(app).unwrap_or_else(|| panic!("unknown catalog app '{app}'"));
-    let mut scenario = catalog_scenario(app);
+fn trace_cell(app: &str, quick: bool) -> PlanCell {
     // Fig. 4 records from run start (including the recognition
     // transient), so no warm-up reset is wanted here.
-    scenario.warmup_ns = 0;
-    scenario.measure_ns = if quick {
+    let measure_ns = if quick {
         (PERIODS as u64 / 2) * 30 * MS + SEC / 10
     } else {
         (PERIODS as u64 + 2) * 30 * MS
     };
-    let cfg = AqlSchedConfig {
-        record_history: PERIODS,
-        ..AqlSchedConfig::default()
-    };
-    let sim = scenario.run_sim(Box::new(AqlSched::new(cfg)));
-    let policy = sim
-        .policy()
-        .as_any()
-        .downcast_ref::<AqlSched>()
-        .expect("AqlSched policy");
+    let spec = catalog_spec(app)
+        .with_warmup_ns(0)
+        .with_measure_ns(measure_ns);
+    PlanCell::new(spec, &format!("aql-sched/history={PERIODS}"))
+        .with_probe(Probe::CursorHistory { vcpu: 0 })
+}
+
+fn fold_trace(app: &str, probe: Option<&ProbeOut>) -> Table {
+    let entry = find_app(app).unwrap_or_else(|| panic!("unknown catalog app '{app}'"));
     let mut table = Table::new(
         &format!("Fig4 vTRS trace {app} (expected {})", entry.class),
         &["period", "IOInt", "ConSpin", "LLCF", "LoLCF", "LLCO"],
     );
-    for (i, c) in policy.cursor_history(0).iter().enumerate() {
+    let Some(ProbeOut::Cursors(rows)) = probe else {
+        panic!("trace cell must yield a cursor history");
+    };
+    for (i, c) in rows.iter().enumerate() {
+        let [ioint, conspin, llcf, lolcf, llco] = c;
         table.row(vec![
             i.to_string(),
-            format!("{:.1}", c.ioint),
-            format!("{:.1}", c.conspin),
-            format!("{:.1}", c.llcf),
-            format!("{:.1}", c.lolcf),
-            format!("{:.1}", c.llco),
+            format!("{ioint:.1}"),
+            format!("{conspin:.1}"),
+            format!("{llcf:.1}"),
+            format!("{lolcf:.1}"),
+            format!("{llco:.1}"),
         ]);
     }
     table
+}
+
+/// Records the cursor traces of one application's vCPU 0.
+pub fn trace_app(app: &str, quick: bool, opts: &ExecOpts) -> Table {
+    let results = execute(&[trace_cell(app, quick)], opts).expect("fig4 plan is well-formed");
+    fold_trace(app, results[0].probe.as_ref())
 }
 
 /// The dominant cursor across a recorded trace — the "curve higher
@@ -83,11 +94,18 @@ pub fn dominant_type(table: &Table) -> Option<&'static str> {
     Some(names[best])
 }
 
-/// Runs the full figure: one trace per representative application.
-pub fn run(quick: bool) -> Vec<Table> {
+/// Runs the full figure: one trace per representative application,
+/// all five as one plan.
+pub fn run(quick: bool, opts: &ExecOpts) -> Vec<Table> {
+    let cells: Vec<PlanCell> = REPRESENTATIVES
+        .iter()
+        .map(|app| trace_cell(app, quick))
+        .collect();
+    let results = execute(&cells, opts).expect("fig4 plan is well-formed");
     REPRESENTATIVES
         .iter()
-        .map(|app| trace_app(app, quick))
+        .zip(&results)
+        .map(|(app, r)| fold_trace(app, r.probe.as_ref()))
         .collect()
 }
 
@@ -97,7 +115,7 @@ mod tests {
 
     #[test]
     fn trace_records_periods() {
-        let t = trace_app("libquantum", true);
+        let t = trace_app("libquantum", true, &ExecOpts::default());
         assert!(t.rows.len() >= 10, "expected periods, got {}", t.rows.len());
         // The trasher's dominant curve is LLCO.
         assert_eq!(dominant_type(&t), Some("LLCO"));

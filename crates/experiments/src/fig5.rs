@@ -6,101 +6,83 @@
 //! default 30 ms run. The paper's claim: each application reaches its
 //! best performance at the quantum its vTRS-detected type calibrates
 //! to.
+//!
+//! The per-application consolidation environment is a generated
+//! [`ScenarioSpec`] ([`catalog_spec`]); the quantum axis is the
+//! `fixed/<dur>` policy token, all applications fanned through one
+//! plan.
 
-use aql_baselines::xen_credit;
-use aql_hv::apptype::VcpuType;
-use aql_hv::policy::FixedQuantumPolicy;
-use aql_hv::workload::GuestWorkload;
-use aql_hv::{MachineSpec, VmSpec};
-use aql_mem::CacheSpec;
+use aql_scenarios::ScenarioSpec;
 use aql_sim::time::fmt_dur;
-use aql_workloads::{build_app_vm, find_app, MemWalk};
+use aql_workloads::find_app;
 
 use crate::emit::{fmt_ratio, Table};
-use crate::fig2::{BASE_QUANTUM, QUANTA};
-use crate::runner::{cost_of, normalized, Scenario, ScenarioVm};
+use crate::fig2::{fold_quanta, quantum_cells, QUANTA};
+use crate::plan::{execute, ExecOpts, PlanCell};
 
 /// Builds the consolidated environment for one named application:
 /// one pCPU per application vCPU, with three co-runner vCPUs per pCPU
 /// (one trasher, one LLC-friendly, one low-level-cache walker per
 /// application vCPU — "various workload types").
-pub fn catalog_scenario(app: &str) -> Scenario {
+pub fn catalog_spec(app: &str) -> ScenarioSpec {
     let entry = find_app(app).unwrap_or_else(|| panic!("unknown catalog app '{app}'"));
     let cores = entry.vcpus;
-    let machine = MachineSpec::custom(
-        &format!("fig5-{}core", cores),
-        1,
-        cores,
-        CacheSpec::i7_3770(),
+    let mut doc = format!(
+        "scenario   = fig5-{app}\n\
+         machine    = name=fig5-{cores}core sockets=1 cores={cores} cache=i7-3770\n\
+         vm {app} workload=app/{app} seed=42\n"
     );
-    let app_name = app.to_string();
-    let mut vms = vec![ScenarioVm::new(entry.class, move |seed| {
-        build_app_vm(&app_name, &CacheSpec::i7_3770(), seed).expect("catalog app")
-    })];
-    // Three co-runner vCPUs per application vCPU.
     for i in 0..cores {
-        let spec = CacheSpec::i7_3770();
-        vms.push(ScenarioVm::new(VcpuType::Llco, move |_| {
-            let name = format!("co-llco-{i}");
-            (
-                VmSpec::single(&name),
-                Box::new(MemWalk::llco(&name, &spec)) as Box<dyn GuestWorkload>,
-            )
-        }));
-        vms.push(ScenarioVm::new(VcpuType::Llcf, move |_| {
-            let name = format!("co-llcf-{i}");
-            (
-                VmSpec::single(&name),
-                Box::new(MemWalk::llcf(&name, &spec)) as Box<dyn GuestWorkload>,
-            )
-        }));
-        vms.push(ScenarioVm::new(VcpuType::Lolcf, move |_| {
-            let name = format!("co-lolcf-{i}");
-            (
-                VmSpec::single(&name),
-                Box::new(MemWalk::lolcf(&name, &spec)) as Box<dyn GuestWorkload>,
-            )
-        }));
+        doc.push_str(&format!("vm co-llco-{i} workload=walk/llco\n"));
+        doc.push_str(&format!("vm co-llcf-{i} workload=walk/llcf\n"));
+        doc.push_str(&format!("vm co-lolcf-{i} workload=walk/lolcf\n"));
     }
-    Scenario::new(&format!("fig5-{app}"), machine, vms)
+    ScenarioSpec::parse(&doc).expect("generated fig5 spec is well-formed")
+}
+
+/// The cells of one application's sweep: one shared
+/// [`crate::fig2::quantum_cells`] span over the consolidation spec.
+fn app_cells(app: &str, quick: bool) -> Vec<PlanCell> {
+    let mut spec = catalog_spec(app);
+    if quick {
+        spec = spec.quick();
+    }
+    quantum_cells(&spec)
 }
 
 /// Runs the sweep for one application: normalised cost per quantum.
-pub fn run_app(app: &str, quick: bool) -> Vec<Option<f64>> {
-    let mut scenario = catalog_scenario(app);
-    if quick {
-        scenario = scenario.quick();
-    }
-    let baseline = scenario.run(Box::new(xen_credit()));
-    let base_cost = cost_of(&baseline, 0);
-    QUANTA
-        .iter()
-        .map(|&q| {
-            if q == BASE_QUANTUM {
-                return Some(1.0);
-            }
-            let report = scenario.run(Box::new(FixedQuantumPolicy::new(q)));
-            normalized(cost_of(&report, 0), base_cost)
-        })
-        .collect()
+pub fn run_app(app: &str, quick: bool, opts: &ExecOpts) -> Vec<Option<f64>> {
+    let results = execute(&app_cells(app, quick), opts).expect("fig5 plan is well-formed");
+    fold_quanta(&results)
 }
 
-/// Runs the whole figure over `apps` (or the full catalog when empty).
-pub fn run(apps: &[&str], quick: bool) -> Table {
+/// Runs the whole figure over `apps` (or the full catalog when empty)
+/// as a single plan.
+pub fn run(apps: &[&str], quick: bool, opts: &ExecOpts) -> Table {
     let names: Vec<&str> = if apps.is_empty() {
         aql_workloads::all_apps().iter().map(|a| a.name).collect()
     } else {
         apps.to_vec()
     };
+    let mut cells = Vec::new();
+    let mut spans = Vec::new();
+    for app in &names {
+        let c = app_cells(app, quick);
+        spans.push(c.len());
+        cells.extend(c);
+    }
+    let results = execute(&cells, opts).expect("fig5 plan is well-formed");
     let mut headers: Vec<String> = vec!["application".into(), "class".into()];
     headers.extend(QUANTA.iter().map(|q| fmt_dur(*q)));
     let mut table = Table::new(
         "Fig5 validation sweep (normalised cost, lower is better)",
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
-    for app in names {
+    let mut offset = 0;
+    for (app, span) in names.iter().zip(spans) {
         let entry = find_app(app).expect("catalog app");
-        let cols = run_app(app, quick);
+        let cols = fold_quanta(&results[offset..offset + span]);
+        offset += span;
         let mut row = vec![app.to_string(), entry.class.to_string()];
         row.extend(cols.iter().map(|c| fmt_ratio(*c)));
         table.row(row);
@@ -113,26 +95,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scenarios_are_fully_consolidated() {
+    fn specs_are_fully_consolidated() {
         for app in ["bzip2", "fluidanimate", "SPECweb2009"] {
-            let s = catalog_scenario(app);
-            let total_vcpus: usize = s
-                .vms
-                .iter()
-                .enumerate()
-                .map(|(i, vm)| (vm.factory)(i as u64).0.vcpus)
-                .sum();
-            assert_eq!(
-                total_vcpus,
-                4 * s.machine.total_pcpus(),
-                "{app}: 4 vCPUs per pCPU"
-            );
+            let s = catalog_spec(app);
+            let pcpus = s.machine.sockets * s.machine.cores_per_socket;
+            assert_eq!(s.total_vcpus(), 4 * pcpus, "{app}: 4 vCPUs per pCPU");
         }
     }
 
     #[test]
     #[should_panic(expected = "unknown catalog app")]
     fn unknown_app_panics() {
-        let _ = catalog_scenario("doom");
+        let _ = catalog_spec("doom");
     }
 }

@@ -1,329 +1,94 @@
 //! Fig. 6 — AQL_Sched effectiveness.
 //!
 //! Left: the five colocation scenarios of Table 4 (16 vCPUs on 4
-//! pCPUs, single socket), AQL_Sched normalised over the default Xen
-//! scheduler per application type.
+//! pCPUs, single socket; catalog entries `s1`–`s5`), AQL_Sched
+//! normalised over the default Xen scheduler per application type.
 //!
-//! Right: the complex 4-socket case of Fig. 3 (48 vCPUs: 12 IOInt⁺,
-//! 7 ConSpin⁻, 17 LLCF, 12 LLCO on three usable sockets; one socket is
-//! dom0's).
+//! Right: the complex 4-socket case of Fig. 3 (catalog entry
+//! `fig3-complex`: 48 vCPUs — 12 IOInt⁺, 7 ConSpin⁻, 17 LLCF, 12 LLCO
+//! on three usable sockets; socket 0 is dom0's), run under the
+//! socket-restricted policy tokens.
 
-use std::any::Any;
-
-use aql_baselines::xen_credit;
-use aql_core::{AqlSched, AqlSchedConfig};
-use aql_hv::apptype::VcpuType;
-use aql_hv::engine::Hypervisor;
-use aql_hv::ids::{PcpuId, PoolId, SocketId};
-use aql_hv::policy::SchedPolicy;
-use aql_hv::pool::PoolSpec;
-use aql_hv::workload::GuestWorkload;
-use aql_hv::{MachineSpec, VmSpec};
-use aql_mem::{CacheSpec, MemProfile};
-use aql_sim::time::MS;
-use aql_workloads::{IoServer, IoServerCfg, MemWalk, SpinJob};
+use aql_scenarios::{catalog, ScenarioSpec};
 
 use crate::emit::{fmt_ratio, Table};
-use crate::fig2::calibration_spin_cfg;
-use crate::runner::{class_normalized, Scenario, ScenarioVm};
+use crate::plan::{class_mean_norm, classes_present, execute, ExecOpts, PlanCell, Probe, ProbeOut};
 
-// ---------------------------------------------------------------------
-// Shared VM builders
-// ---------------------------------------------------------------------
+/// The guest-usable sockets of the 4-socket machine as a policy-token
+/// argument (socket 0 is dom0's).
+pub const GUEST_SOCKETS: &str = "1-3";
 
-/// A heterogeneous web-server VM (IOInt).
-pub fn io_vm(name: &str) -> ScenarioVm {
-    let name = name.to_string();
-    ScenarioVm::new(VcpuType::IoInt, move |seed| {
-        (
-            VmSpec::single(&name),
-            Box::new(IoServer::new(
-                &name,
-                IoServerCfg::heterogeneous(120.0),
-                seed,
-            )) as Box<dyn GuestWorkload>,
-        )
-    })
+/// Loads scenario `S1`..`S5` of Table 4 from the catalog.
+pub fn scenario_spec(id: usize) -> ScenarioSpec {
+    assert!((1..=5).contains(&id), "scenarios are S1..S5");
+    catalog::load(&format!("s{id}")).expect("catalog carries s1..s5")
 }
 
-/// An IOInt⁺ VM: IO-intensive *and* LLC-trashing (its service and CGI
-/// code streams through a working set larger than the LLC).
-pub fn io_plus_vm(name: &str) -> ScenarioVm {
-    let name = name.to_string();
-    ScenarioVm::new(VcpuType::IoInt, move |seed| {
-        let trashing_profile = MemProfile {
-            wss_bytes: 32 * 1024 * 1024,
-            deep_refs_per_instr: 0.08,
-            base_ns_per_instr: 0.40,
-        };
-        let cfg = IoServerCfg {
-            profile: trashing_profile,
-            background: Some(trashing_profile),
-            ..IoServerCfg::exclusive(120.0)
-        };
-        (
-            VmSpec::single(&name),
-            Box::new(IoServer::new(&name, cfg, seed)) as Box<dyn GuestWorkload>,
-        )
-    })
+/// Loads the Fig. 3 population from the catalog.
+pub fn fig3_spec() -> ScenarioSpec {
+    catalog::load("fig3-complex").expect("catalog carries fig3-complex")
 }
 
-/// A spin-lock job VM (ConSpin) with `threads` vCPUs, weighted
-/// proportionally to its vCPU count (standard sizing).
-pub fn spin_vm(name: &str, threads: usize) -> ScenarioVm {
-    let name = name.to_string();
-    ScenarioVm::new(VcpuType::ConSpin, move |seed| {
-        let spec = VmSpec {
-            weight: 256 * threads as u32,
-            ..VmSpec::smp(&name, threads)
-        };
-        (
-            spec,
-            Box::new(SpinJob::new(&name, calibration_spin_cfg(threads), seed))
-                as Box<dyn GuestWorkload>,
-        )
-    })
-}
-
-/// A memory-walker VM of the given CPU-burn class.
-pub fn walk_vm(class: VcpuType, name: &str) -> ScenarioVm {
-    let name = name.to_string();
-    ScenarioVm::new(class, move |_| {
-        let spec = CacheSpec::i7_3770();
-        let wl = match class {
-            VcpuType::Llcf => MemWalk::llcf(&name, &spec),
-            VcpuType::Lolcf => MemWalk::lolcf(&name, &spec),
-            VcpuType::Llco => MemWalk::llco(&name, &spec),
-            _ => panic!("walk_vm is for CPU-burn classes"),
-        };
-        (
-            VmSpec::single(&name),
-            Box::new(wl) as Box<dyn GuestWorkload>,
-        )
-    })
-}
-
-// ---------------------------------------------------------------------
-// Table 4 scenarios (single socket, 16 vCPUs on 4 pCPUs)
-// ---------------------------------------------------------------------
-
-fn single_socket() -> MachineSpec {
-    MachineSpec::custom("fig6-4core", 1, 4, CacheSpec::i7_3770())
-}
-
-/// Builds scenario `S1`..`S5` of Table 4.
-pub fn scenario(id: usize) -> Scenario {
-    let mut vms: Vec<ScenarioVm> = Vec::new();
-    match id {
-        1 => {
-            // 5 ConSpin (fluidanimate), 5 LLCF (bzip2), 6 LoLCF (hmmer).
-            vms.push(spin_vm("fluidanimate", 5));
-            for i in 0..5 {
-                vms.push(walk_vm(VcpuType::Llcf, &format!("bzip2-{i}")));
-            }
-            for i in 0..6 {
-                vms.push(walk_vm(VcpuType::Lolcf, &format!("hmmer-{i}")));
-            }
+/// Runs Fig. 6 left: AQL_Sched vs native Xen per scenario and type,
+/// all five scenarios as one plan.
+pub fn run_left(quick: bool, opts: &ExecOpts) -> Table {
+    let mut cells = Vec::new();
+    let mut specs = Vec::new();
+    for id in 1..=5 {
+        let mut s = scenario_spec(id);
+        if quick {
+            s = s.quick();
         }
-        2 => {
-            // 5 IOInt (SPECweb), 5 LLCF (bzip2), 6 LLCO (libquantum).
-            for i in 0..5 {
-                vms.push(io_vm(&format!("SPECweb-{i}")));
-            }
-            for i in 0..5 {
-                vms.push(walk_vm(VcpuType::Llcf, &format!("bzip2-{i}")));
-            }
-            for i in 0..6 {
-                vms.push(walk_vm(VcpuType::Llco, &format!("libquantum-{i}")));
-            }
-        }
-        3 => {
-            // 5 LLCF, 5 LLCO, 6 LoLCF.
-            for i in 0..5 {
-                vms.push(walk_vm(VcpuType::Llcf, &format!("bzip2-{i}")));
-            }
-            for i in 0..5 {
-                vms.push(walk_vm(VcpuType::Llco, &format!("libquantum-{i}")));
-            }
-            for i in 0..6 {
-                vms.push(walk_vm(VcpuType::Lolcf, &format!("hmmer-{i}")));
-            }
-        }
-        4 => {
-            // 4 IOInt, 4 ConSpin (facesim), 4 LLCF, 4 LLCO.
-            for i in 0..4 {
-                vms.push(io_vm(&format!("SPECweb-{i}")));
-            }
-            vms.push(spin_vm("facesim", 4));
-            for i in 0..4 {
-                vms.push(walk_vm(VcpuType::Llcf, &format!("bzip2-{i}")));
-            }
-            for i in 0..4 {
-                vms.push(walk_vm(VcpuType::Llco, &format!("libquantum-{i}")));
-            }
-        }
-        5 => {
-            // 4 IOInt, 4 ConSpin, 4 LLCF, 2 LLCO, 2 LoLCF.
-            for i in 0..4 {
-                vms.push(io_vm(&format!("SPECweb-{i}")));
-            }
-            vms.push(spin_vm("facesim", 4));
-            for i in 0..4 {
-                vms.push(walk_vm(VcpuType::Llcf, &format!("bzip2-{i}")));
-            }
-            for i in 0..2 {
-                vms.push(walk_vm(VcpuType::Llco, &format!("libquantum-{i}")));
-            }
-            for i in 0..2 {
-                vms.push(walk_vm(VcpuType::Lolcf, &format!("hmmer-{i}")));
-            }
-        }
-        _ => panic!("scenarios are S1..S5"),
+        cells.push(PlanCell::new(s.clone(), "xen-credit"));
+        cells.push(PlanCell::new(s.clone(), "aql-sched"));
+        specs.push(s);
     }
-    Scenario::new(&format!("S{id}"), single_socket(), vms)
-}
-
-/// Classes present in a scenario, deduplicated in type order.
-pub fn classes_of(s: &Scenario) -> Vec<VcpuType> {
-    VcpuType::ALL
-        .into_iter()
-        .filter(|c| s.vms.iter().any(|vm| vm.class == *c))
-        .collect()
-}
-
-/// Runs Fig. 6 left: AQL_Sched vs native Xen per scenario and type.
-pub fn run_left(quick: bool) -> Table {
+    let results = execute(&cells, opts).expect("fig6 plan is well-formed");
     let mut table = Table::new(
         "Fig6(left) AQL vs Xen on scenarios S1-S5 (normalised cost)",
         &["scenario", "type", "norm (AQL/Xen)"],
     );
-    for id in 1..=5 {
-        let mut s = scenario(id);
-        if quick {
-            s = s.quick();
-        }
-        let xen = s.run(Box::new(xen_credit()));
-        let aql = s.run(Box::new(AqlSched::paper_defaults()));
-        for class in classes_of(&s) {
-            let norm = class_normalized(&s, &aql, &xen, class);
-            table.row(vec![format!("S{id}"), class.to_string(), fmt_ratio(norm)]);
+    for (i, spec) in specs.iter().enumerate() {
+        let xen = results[2 * i].report.as_ref().expect("xen cell ran");
+        let aql = results[2 * i + 1].report.as_ref().expect("aql cell ran");
+        let classes = aql_scenarios::classes(spec);
+        for class in classes_present(spec) {
+            let norm = class_mean_norm(aql, xen, &classes, Some(class));
+            table.row(vec![
+                format!("S{}", i + 1),
+                class.to_string(),
+                fmt_ratio(norm),
+            ]);
         }
     }
     table
 }
 
-// ---------------------------------------------------------------------
-// The 4-socket complex case (Fig. 3 topology)
-// ---------------------------------------------------------------------
-
-/// Guest-usable sockets on the 4-socket machine (socket 0 is dom0's).
-pub fn usable_sockets() -> Vec<SocketId> {
-    vec![SocketId(1), SocketId(2), SocketId(3)]
-}
-
-/// The Fig. 3 population: 12 IOInt⁺, 17 LLCF, 7 ConSpin⁻, 12 LLCO
-/// (VM construction order matches the paper's worked example).
-pub fn fig3_scenario() -> Scenario {
-    let mut vms: Vec<ScenarioVm> = Vec::new();
-    for i in 0..12 {
-        vms.push(io_plus_vm(&format!("ioplus-{i}")));
-    }
-    for i in 0..17 {
-        vms.push(walk_vm(VcpuType::Llcf, &format!("llcf-{i}")));
-    }
-    // 7 ConSpin⁻ vCPUs as two jobs (4 + 3); the fairness leftover can
-    // then take a whole job into the default cluster instead of
-    // splitting one across quanta.
-    vms.push(spin_vm("spin-a", 4));
-    vms.push(spin_vm("spin-b", 3));
-    for i in 0..12 {
-        vms.push(walk_vm(VcpuType::Llco, &format!("llco-{i}")));
-    }
-    Scenario::new("fig3", MachineSpec::xeon_e5_4603(), vms)
-}
-
-/// Native Xen restricted to the guest sockets (dom0's cores are
-/// dedicated, so guests never run there under either scheduler).
-#[derive(Debug, Clone)]
-pub struct RestrictedXen {
-    quantum_ns: u64,
-    sockets: Vec<SocketId>,
-}
-
-impl RestrictedXen {
-    /// 30 ms quantum over the given sockets.
-    pub fn new(sockets: Vec<SocketId>) -> Self {
-        RestrictedXen {
-            quantum_ns: 30 * MS,
-            sockets,
-        }
-    }
-
-    /// An arbitrary fixed quantum over the given sockets.
-    pub fn with_quantum(sockets: Vec<SocketId>, quantum_ns: u64) -> Self {
-        RestrictedXen {
-            quantum_ns,
-            sockets,
-        }
-    }
-}
-
-impl SchedPolicy for RestrictedXen {
-    fn name(&self) -> &str {
-        "xen-credit-restricted"
-    }
-
-    fn init(&mut self, hv: &mut Hypervisor) {
-        let mut guest: Vec<PcpuId> = Vec::new();
-        let mut reserved: Vec<PcpuId> = Vec::new();
-        for s in 0..hv.machine.sockets {
-            let pcpus = hv.machine.pcpus_of_socket(SocketId(s));
-            if self.sockets.contains(&SocketId(s)) {
-                guest.extend(pcpus);
-            } else {
-                reserved.extend(pcpus);
-            }
-        }
-        let mut pools = vec![PoolSpec::new(guest, self.quantum_ns)];
-        if !reserved.is_empty() {
-            pools.push(PoolSpec::new(reserved, self.quantum_ns));
-        }
-        let assignment = vec![PoolId(0); hv.vcpus.len()];
-        hv.apply_plan(pools, assignment)
-            .expect("socket split is always valid");
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-}
-
-/// AQL_Sched configured for the 4-socket machine (dom0 socket
-/// excluded), as in Fig. 3.
-pub fn aql_for_fig3() -> AqlSched {
-    AqlSched::new(AqlSchedConfig {
-        usable_sockets: Some(usable_sockets()),
-        ..AqlSchedConfig::default()
-    })
-}
-
-/// Runs Fig. 6 right: the 4-socket case, AQL vs restricted Xen.
-pub fn run_right(quick: bool) -> (Table, Table) {
-    let mut s = fig3_scenario();
+/// Runs Fig. 6 right: the 4-socket case, AQL vs socket-restricted Xen
+/// (both confined to sockets 1–3; dom0's cores are dedicated, so
+/// guests never run there under either scheduler).
+pub fn run_right(quick: bool, opts: &ExecOpts) -> (Table, Table) {
+    let mut s = fig3_spec();
     if quick {
         s = s.quick();
     }
-    let xen = s.run(Box::new(RestrictedXen::new(usable_sockets())));
-    let aql_sim = s.run_sim(Box::new(aql_for_fig3()));
-    let aql = aql_sim.report();
+    let cells = vec![
+        PlanCell::new(s.clone(), &format!("xen-credit/sockets={GUEST_SOCKETS}")),
+        PlanCell::new(s.clone(), &format!("aql-sched/sockets={GUEST_SOCKETS}"))
+            .with_probe(Probe::ClusterPlan),
+    ];
+    let results = execute(&cells, opts).expect("fig6 plan is well-formed");
+    let xen = results[0].report.as_ref().expect("xen cell ran");
+    let aql = results[1].report.as_ref().expect("aql cell ran");
+    let classes = aql_scenarios::classes(&s);
     let mut table = Table::new(
         "Fig6(right) 4-socket case (normalised cost, AQL/Xen)",
         &["type", "norm (AQL/Xen)"],
     );
-    for class in classes_of(&s) {
+    for class in classes_present(&s) {
         table.row(vec![
             class.to_string(),
-            fmt_ratio(class_normalized(&s, &aql, &xen, class)),
+            fmt_ratio(class_mean_norm(aql, xen, &classes, Some(class))),
         ]);
     }
     // The clusters AQL settled on (compare with Fig. 3).
@@ -333,19 +98,14 @@ pub fn run_right(quick: bool) -> (Table, Table) {
             "cluster", "socket", "quantum", "#vcpus", "#pcpus", "default",
         ],
     );
-    if let Some(plan) = aql_sim
-        .policy()
-        .as_any()
-        .downcast_ref::<AqlSched>()
-        .and_then(|p| p.last_plan())
-    {
-        for c in &plan.clusters {
+    if let Some(ProbeOut::Clusters(rows)) = &results[1].probe {
+        for c in rows {
             clusters.row(vec![
                 c.label.clone(),
-                c.socket.to_string(),
+                c.socket.clone(),
                 aql_sim::time::fmt_dur(c.quantum_ns),
                 c.vcpus.len().to_string(),
-                c.pcpus.len().to_string(),
+                c.pcpus.to_string(),
                 c.is_default.to_string(),
             ]);
         }
@@ -356,58 +116,52 @@ pub fn run_right(quick: bool) -> (Table, Table) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aql_hv::apptype::VcpuType;
+
+    fn vcpu_count(spec: &ScenarioSpec, class: VcpuType) -> usize {
+        spec.vms
+            .iter()
+            .flat_map(|vm| (0..vm.count).map(move |i| (vm.class_of(i), vm.workload_of(i).vcpus())))
+            .filter(|(c, _)| *c == class)
+            .map(|(_, v)| v)
+            .sum()
+    }
 
     #[test]
     fn scenarios_have_16_vcpus() {
         for id in 1..=5 {
-            let s = scenario(id);
-            let total: usize = s
-                .vms
-                .iter()
-                .enumerate()
-                .map(|(i, vm)| (vm.factory)(i as u64).0.vcpus)
-                .sum();
-            assert_eq!(total, 16, "S{id}");
+            assert_eq!(scenario_spec(id).total_vcpus(), 16, "S{id}");
         }
     }
 
     #[test]
     fn scenario_type_counts_match_table4() {
-        let count = |s: &Scenario, c: VcpuType| -> usize {
-            s.vms
-                .iter()
-                .enumerate()
-                .filter(|(_, vm)| vm.class == c)
-                .map(|(i, vm)| (vm.factory)(i as u64).0.vcpus)
-                .sum()
-        };
-        let s1 = scenario(1);
-        assert_eq!(count(&s1, VcpuType::ConSpin), 5);
-        assert_eq!(count(&s1, VcpuType::Llcf), 5);
-        assert_eq!(count(&s1, VcpuType::Lolcf), 6);
-        let s5 = scenario(5);
-        assert_eq!(count(&s5, VcpuType::IoInt), 4);
-        assert_eq!(count(&s5, VcpuType::ConSpin), 4);
-        assert_eq!(count(&s5, VcpuType::Llcf), 4);
-        assert_eq!(count(&s5, VcpuType::Llco), 2);
-        assert_eq!(count(&s5, VcpuType::Lolcf), 2);
+        let s1 = scenario_spec(1);
+        assert_eq!(vcpu_count(&s1, VcpuType::ConSpin), 5);
+        assert_eq!(vcpu_count(&s1, VcpuType::Llcf), 5);
+        assert_eq!(vcpu_count(&s1, VcpuType::Lolcf), 6);
+        let s5 = scenario_spec(5);
+        assert_eq!(vcpu_count(&s5, VcpuType::IoInt), 4);
+        assert_eq!(vcpu_count(&s5, VcpuType::ConSpin), 4);
+        assert_eq!(vcpu_count(&s5, VcpuType::Llcf), 4);
+        assert_eq!(vcpu_count(&s5, VcpuType::Llco), 2);
+        assert_eq!(vcpu_count(&s5, VcpuType::Lolcf), 2);
     }
 
     #[test]
     fn fig3_population_matches_the_paper() {
-        let s = fig3_scenario();
-        let total: usize = s
-            .vms
-            .iter()
-            .enumerate()
-            .map(|(i, vm)| (vm.factory)(i as u64).0.vcpus)
-            .sum();
-        assert_eq!(total, 48);
+        let s = fig3_spec();
+        assert_eq!(s.total_vcpus(), 48);
+        assert_eq!(s.machine.sockets, 4);
+        assert_eq!(vcpu_count(&s, VcpuType::IoInt), 12);
+        assert_eq!(vcpu_count(&s, VcpuType::ConSpin), 7);
+        assert_eq!(vcpu_count(&s, VcpuType::Llcf), 17);
+        assert_eq!(vcpu_count(&s, VcpuType::Llco), 12);
     }
 
     #[test]
     #[should_panic(expected = "scenarios are S1..S5")]
     fn unknown_scenario_panics() {
-        let _ = scenario(9);
+        let _ = scenario_spec(9);
     }
 }

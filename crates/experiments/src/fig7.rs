@@ -3,47 +3,53 @@
 //! The Fig. 3 experiment is replayed with the quantum-customisation
 //! step discarded: clustering still runs, but every pool is configured
 //! with a uniform small (1 ms), medium (30 ms) or large (90 ms)
-//! quantum. Values are normalised over the full AQL_Sched run (both
-//! steps active); a value above 1.0 means customisation helped.
+//! quantum — the `aql-sched/…,uniform=<dur>` policy token. Values are
+//! normalised over the full AQL_Sched run (both steps active); a value
+//! above 1.0 means customisation helped.
 
-use aql_core::{AqlSched, AqlSchedConfig};
-use aql_sim::time::MS;
+use aql_sim::time::{fmt_dur, MS};
 
 use crate::emit::{fmt_ratio, Table};
-use crate::fig6::{classes_of, fig3_scenario, usable_sockets};
-use crate::runner::class_normalized;
+use crate::fig6::{fig3_spec, GUEST_SOCKETS};
+use crate::plan::{class_mean_norm, classes_present, execute, ExecOpts, PlanCell};
 
 /// The three uniform quanta of the ablation.
 pub const UNIFORM: [(u64, &str); 3] = [(MS, "small"), (30 * MS, "medium"), (90 * MS, "large")];
 
-fn aql_variant(uniform_quantum: Option<u64>) -> AqlSched {
-    AqlSched::new(AqlSchedConfig {
-        usable_sockets: Some(usable_sockets()),
-        uniform_quantum,
-        ..AqlSchedConfig::default()
-    })
-}
-
 /// Runs the ablation: per type, cost under clustering-only (uniform
 /// quantum) normalised over cost under full AQL_Sched.
-pub fn run(quick: bool) -> Table {
-    let mut s = fig3_scenario();
+pub fn run(quick: bool, opts: &ExecOpts) -> Table {
+    let mut s = fig3_spec();
     if quick {
         s = s.quick();
     }
-    let full = s.run(Box::new(aql_variant(None)));
+    let mut cells = vec![PlanCell::new(
+        s.clone(),
+        &format!("aql-sched/sockets={GUEST_SOCKETS}"),
+    )];
+    for (q, _) in UNIFORM {
+        cells.push(PlanCell::new(
+            s.clone(),
+            &format!("aql-sched/sockets={GUEST_SOCKETS},uniform={}", fmt_dur(q)),
+        ));
+    }
+    let results = execute(&cells, opts).expect("fig7 plan is well-formed");
+    let full = results[0].report.as_ref().expect("full-AQL cell ran");
+    let classes = aql_scenarios::classes(&s);
     let mut table = Table::new(
         "Fig7 quantum customisation benefit (cost vs full AQL; >1 = customisation helped)",
         &["type", "small (1ms)", "medium (30ms)", "large (90ms)"],
     );
-    let mut per_quantum = Vec::new();
-    for (q, _) in UNIFORM {
-        per_quantum.push(s.run(Box::new(aql_variant(Some(q)))));
-    }
-    for class in classes_of(&s) {
+    for class in classes_present(&s) {
         let mut row = vec![class.to_string()];
-        for report in &per_quantum {
-            row.push(fmt_ratio(class_normalized(&s, report, &full, class)));
+        for result in &results[1..] {
+            let report = result.report.as_ref().expect("uniform cell ran");
+            row.push(fmt_ratio(class_mean_norm(
+                report,
+                full,
+                &classes,
+                Some(class),
+            )));
         }
         table.row(row);
     }
@@ -62,12 +68,10 @@ mod tests {
     }
 
     #[test]
-    fn variants_differ_only_in_quantum_config() {
-        let a = aql_variant(None);
-        let b = aql_variant(Some(MS));
-        assert_eq!(
-            aql_hv::policy::SchedPolicy::name(&a),
-            aql_hv::policy::SchedPolicy::name(&b)
-        );
+    fn uniform_tokens_parse() {
+        for (q, _) in UNIFORM {
+            let token = format!("aql-sched/sockets={GUEST_SOCKETS},uniform={}", fmt_dur(q));
+            assert!(aql_scenarios::parse_policy(&token).is_ok(), "{token}");
+        }
     }
 }

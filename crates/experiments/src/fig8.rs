@@ -2,49 +2,59 @@
 //!
 //! Scenario S5 runs under vTurbo, vSlicer, Microsliced and AQL_Sched;
 //! per-type costs are normalised over the default Xen scheduler. The
-//! comparators have no type recognition, so their IO-VM lists are
-//! manual configuration, as in the paper.
+//! comparators have no type recognition, so their IO-VM lists come
+//! from the registry's manual tagging (the spec's ground-truth IOInt
+//! VMs), as in the paper.
 
-use aql_baselines::{xen_credit, Microsliced, VSlicer, VTurbo};
-use aql_core::AqlSched;
 use aql_hv::apptype::VcpuType;
-use aql_hv::SchedPolicy;
 
 use crate::emit::{fmt_ratio, Table};
-use crate::fig6::scenario;
-use crate::runner::class_normalized;
+use crate::fig6::scenario_spec;
+use crate::plan::{class_mean_norm, execute, ExecOpts, PlanCell};
+
+/// The comparator policy tokens, in the paper's row order (after the
+/// Xen baseline).
+pub const COMPARATORS: [&str; 4] = ["vturbo", "microsliced", "vslicer", "aql-sched"];
 
 /// The S5 IO VM names handed to vTurbo and vSlicer.
 pub fn s5_io_vms() -> Vec<String> {
-    (0..4).map(|i| format!("SPECweb-{i}")).collect()
+    aql_scenarios::tagged_io_vms(&scenario_spec(5))
 }
 
 /// Runs the comparison; rows are policies, columns the three types the
 /// paper plots (IOInt, ConSpin, LLCF).
-pub fn run(quick: bool) -> Table {
-    let mut s = scenario(5);
+pub fn run(quick: bool, opts: &ExecOpts) -> Table {
+    let mut s = scenario_spec(5);
     if quick {
         s = s.quick();
     }
-    let xen = s.run(Box::new(xen_credit()));
-    let io_names = s5_io_vms();
-    let io_refs: Vec<&str> = io_names.iter().map(|s| s.as_str()).collect();
-    let policies: Vec<Box<dyn SchedPolicy>> = vec![
-        Box::new(VTurbo::new(&io_refs)),
-        Box::new(Microsliced::default()),
-        Box::new(VSlicer::new(&io_refs)),
-        Box::new(AqlSched::paper_defaults()),
-    ];
+    let mut cells = vec![PlanCell::new(s.clone(), "xen-credit")];
+    for token in COMPARATORS {
+        cells.push(PlanCell::new(s.clone(), token));
+    }
+    let results = execute(&cells, opts).expect("fig8 plan is well-formed");
+    let xen = results[0].report.as_ref().expect("xen cell ran");
+    let classes = aql_scenarios::classes(&s);
     let mut table = Table::new(
         "Fig8 comparison on S5 (normalised cost over Xen; lower is better)",
         &["policy", "IOInt", "ConSpin", "LLCF"],
     );
-    for policy in policies {
-        let name = policy.name().to_string();
-        let report = s.run(policy);
+    for (token, result) in COMPARATORS.iter().zip(&results[1..]) {
+        // Row label: the policy's own reported name, as the paper
+        // spells its comparators.
+        let name = aql_scenarios::policy_for(&s, token)
+            .expect("comparator tokens are valid")
+            .name()
+            .to_string();
+        let report = result.report.as_ref().expect("comparator cell ran");
         let mut row = vec![name];
         for class in [VcpuType::IoInt, VcpuType::ConSpin, VcpuType::Llcf] {
-            row.push(fmt_ratio(class_normalized(&s, &report, &xen, class)));
+            row.push(fmt_ratio(class_mean_norm(
+                report,
+                xen,
+                &classes,
+                Some(class),
+            )));
         }
         table.row(row);
     }
@@ -57,15 +67,9 @@ mod tests {
 
     #[test]
     fn io_vm_names_match_s5() {
-        let s = scenario(5);
-        let names: Vec<String> = s
-            .vms
-            .iter()
-            .enumerate()
-            .map(|(i, vm)| (vm.factory)(i as u64).0.name)
-            .collect();
-        for io in s5_io_vms() {
-            assert!(names.contains(&io), "missing {io}");
-        }
+        assert_eq!(
+            s5_io_vms(),
+            ["SPECweb-0", "SPECweb-1", "SPECweb-2", "SPECweb-3"]
+        );
     }
 }

@@ -22,8 +22,15 @@
 //! `aql_scenarios`' declarative catalog) across OS threads — the
 //! `sweep` binary is its CLI.
 //!
-//! The shared machinery lives in [`runner`] (scenario construction and
-//! normalised measurement) and [`emit`] (table/CSV output).
+//! Every artifact runs on one shared substrate, the experiment-plan
+//! layer ([`plan`]): a figure is a matrix of [`plan::PlanCell`]s —
+//! declarative scenario × policy-token × seed, with optional
+//! in-worker probes for policy-internal state — executed by
+//! [`plan::execute`]'s atomic-job-cursor thread pool and folded into
+//! [`Table`]s ([`emit`]) through shared, named normalisation
+//! reducers. Figure output is byte-identical across thread counts and
+//! time-advance modes; `tests/figure_goldens.rs` pins every table
+//! against committed goldens.
 
 #![warn(missing_docs)]
 
@@ -35,10 +42,10 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
-pub mod runner;
+pub mod plan;
 pub mod sweep;
 pub mod tables;
 
 pub use emit::Table;
-pub use runner::{Scenario, ScenarioVm};
+pub use plan::{execute, CellResult, ExecOpts, PlanCell, Probe, ProbeOut};
 pub use sweep::{run_sweep, run_sweep_on, SweepConfig, SweepOutcome};

@@ -1,0 +1,487 @@
+//! The experiment-plan layer: every paper artifact as a declarative
+//! cell matrix over one shared parallel executor.
+//!
+//! A figure is a set of [`PlanCell`]s — each names a [`ScenarioSpec`]
+//! (usually a catalog entry plus overlays), a policy token (see
+//! [`aql_scenarios::parse_policy`]), a base seed and an optional
+//! in-worker [`Probe`] — plus a fold that reduces the executed
+//! [`CellResult`]s into [`Table`](crate::Table)s with the shared
+//! normalisation reducers below. [`execute`] fans the cells across OS threads
+//! through the same atomic-job-cursor pool the sweep runner uses, so
+//! `repro` and `sweep` share one execution path.
+//!
+//! # Determinism
+//!
+//! Cell results land at their *matrix index* regardless of which
+//! worker claims them, every simulation is a pure function of
+//! `(spec, policy, base_seed, time_mode)`, and folds read results in
+//! matrix order — so every emitted table is byte-identical across
+//! repeated runs, `--threads` values and time modes.
+//!
+//! # Probes
+//!
+//! Policy-internal state (vTRS cursor histories, cluster plans) is
+//! only reachable while the simulation is alive, inside the worker.
+//! A [`Probe`] names what to extract; the executor downcasts the
+//! policy there and ships plain data ([`ProbeOut`]) back, keeping
+//! [`CellResult`] `Send` without making simulations so.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use aql_core::AqlSched;
+use aql_hv::apptype::VcpuType;
+use aql_hv::{RunReport, Simulation, TimeMode};
+use aql_scenarios::{build_sim_seeded_in, parse_policy, ScenarioSpec};
+
+/// Policy-internal state to extract from a cell's simulation before
+/// it is dropped (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Probe {
+    /// Nothing beyond the [`RunReport`].
+    None,
+    /// The recorded vTRS cursor history of one vCPU (Fig. 4); the
+    /// policy token must enable recording (`aql-sched/history=<n>`).
+    CursorHistory {
+        /// Engine vCPU index to read.
+        vcpu: usize,
+    },
+    /// The cluster plan AQL_Sched last applied (Fig. 6 right, Table 5).
+    ClusterPlan,
+    /// Majority vTRS-detected type over one VM's vCPUs (Table 3).
+    VtrsMajority {
+        /// VM index (placement order).
+        vm: usize,
+    },
+    /// How many times AQL_Sched re-clustered (vTRS-window ablation).
+    Reclusterings,
+}
+
+/// One cluster of an extracted plan, as plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRow {
+    /// Cluster label.
+    pub label: String,
+    /// Socket, rendered (`socket1`).
+    pub socket: String,
+    /// Pool quantum (ns).
+    pub quantum_ns: u64,
+    /// Engine indices of the member vCPUs.
+    pub vcpus: Vec<usize>,
+    /// Number of pCPUs backing the cluster.
+    pub pcpus: usize,
+    /// Whether this is the default (fairness leftover) cluster.
+    pub is_default: bool,
+}
+
+/// Extracted probe data (see [`Probe`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeOut {
+    /// Cursor history rows: `[IOInt, ConSpin, LLCF, LoLCF, LLCO]` per
+    /// monitoring period.
+    Cursors(Vec<[f64; 5]>),
+    /// The applied cluster plan (empty when none was applied).
+    Clusters(Vec<ClusterRow>),
+    /// Majority detected type.
+    Majority(VcpuType),
+    /// Re-clustering count.
+    Reclusterings(u64),
+}
+
+/// One cell of an experiment plan.
+#[derive(Debug, Clone)]
+pub struct PlanCell {
+    /// The scenario to run (already carrying any overlays).
+    pub spec: ScenarioSpec,
+    /// Policy token (see [`aql_scenarios::parse_policy`]).
+    pub policy: String,
+    /// Base seed; defaults to the spec's own.
+    pub base_seed: u64,
+    /// What to extract beyond the report.
+    pub probe: Probe,
+}
+
+impl PlanCell {
+    /// A cell at the spec's own seed with no probe.
+    pub fn new(spec: ScenarioSpec, policy: &str) -> Self {
+        PlanCell {
+            base_seed: spec.seed,
+            spec,
+            policy: policy.to_string(),
+            probe: Probe::None,
+        }
+    }
+
+    /// Attaches a probe.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Overrides the base seed.
+    pub fn with_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+}
+
+/// How to execute a plan. The choice never affects emitted tables —
+/// only wall time. The default is every core in the default
+/// ([`TimeMode::Adaptive`]) time mode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOpts {
+    /// Worker threads; `0` uses the host's available parallelism.
+    pub threads: usize,
+    /// Time-advance mode every cell runs under.
+    pub time_mode: TimeMode,
+}
+
+impl ExecOpts {
+    /// Single-threaded execution (unit tests, timing baselines).
+    pub fn serial() -> Self {
+        ExecOpts {
+            threads: 1,
+            ..ExecOpts::default()
+        }
+    }
+}
+
+/// A completed cell.
+#[derive(Debug)]
+pub struct CellResult {
+    /// The steady-state report; `None` when the policy cannot run on
+    /// the scenario's machine (e.g. vTurbo on a single-core host).
+    pub report: Option<RunReport>,
+    /// Extracted probe data (when the cell asked for one and ran).
+    pub probe: Option<ProbeOut>,
+    /// Wall-clock time this cell took to simulate (ns; zero for
+    /// inapplicable cells). Never enters any table.
+    pub wall_ns: u64,
+}
+
+fn extract_probe(sim: &Simulation, probe: &Probe) -> Option<ProbeOut> {
+    match probe {
+        Probe::None => None,
+        Probe::CursorHistory { vcpu } => {
+            let policy = sim.policy().as_any().downcast_ref::<AqlSched>()?;
+            Some(ProbeOut::Cursors(
+                policy
+                    .cursor_history(*vcpu)
+                    .iter()
+                    .map(|c| [c.ioint, c.conspin, c.llcf, c.lolcf, c.llco])
+                    .collect(),
+            ))
+        }
+        Probe::ClusterPlan => {
+            let policy = sim.policy().as_any().downcast_ref::<AqlSched>()?;
+            let rows = policy
+                .last_plan()
+                .map(|plan| {
+                    plan.clusters
+                        .iter()
+                        .map(|c| ClusterRow {
+                            label: c.label.clone(),
+                            socket: c.socket.to_string(),
+                            quantum_ns: c.quantum_ns,
+                            vcpus: c.vcpus.iter().map(|v| v.index()).collect(),
+                            pcpus: c.pcpus.len(),
+                            is_default: c.is_default,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            Some(ProbeOut::Clusters(rows))
+        }
+        Probe::VtrsMajority { vm } => {
+            let policy = sim.policy().as_any().downcast_ref::<AqlSched>()?;
+            let vtrs = policy.vtrs()?;
+            let mut counts = [0usize; 5];
+            for v in &sim.hv.vms[*vm].vcpus {
+                let t = vtrs.type_of(v.index());
+                let idx = VcpuType::ALL.iter().position(|&x| x == t)?;
+                counts[idx] += 1;
+            }
+            let best = (0..5).max_by_key(|&i| counts[i])?;
+            Some(ProbeOut::Majority(VcpuType::ALL[best]))
+        }
+        Probe::Reclusterings => {
+            let policy = sim.policy().as_any().downcast_ref::<AqlSched>()?;
+            Some(ProbeOut::Reclusterings(policy.reclusterings()))
+        }
+    }
+}
+
+/// Runs every cell across the worker pool; results are returned in
+/// cell order. Fails fast (before spawning any thread) on a malformed
+/// policy token.
+pub fn execute(cells: &[PlanCell], opts: &ExecOpts) -> Result<Vec<CellResult>, String> {
+    // Validate the whole matrix up front so a typo cannot surface as
+    // a mid-plan panic on a worker thread — both token syntax and
+    // per-cell fit (e.g. a sockets= list naming a socket the cell's
+    // machine does not have).
+    let policies = cells
+        .iter()
+        .map(|c| {
+            let p = parse_policy(&c.policy)?;
+            p.validate_for(&c.spec)
+                .map_err(|e| format!("policy '{}': {e}", c.policy))?;
+            Ok::<_, String>(p)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if cells.is_empty() {
+        return Err("empty plan".to_string());
+    }
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.threads
+    }
+    .min(cells.len());
+
+    // Workers claim cells through an atomic cursor and park each
+    // result in the cell's matrix slot: claiming order is racy,
+    // result placement is not.
+    type Slot = Mutex<Option<(RunReport, Option<ProbeOut>, u64)>>;
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Slot> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let policy = &policies[i];
+                if !policy.applicable(&cell.spec) {
+                    continue;
+                }
+                let boxed = policy.build(&cell.spec);
+                let t0 = std::time::Instant::now();
+                let mut sim =
+                    build_sim_seeded_in(&cell.spec, boxed, cell.base_seed, opts.time_mode);
+                let report = sim.run_measured(cell.spec.warmup_ns, cell.spec.measure_ns);
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                let probe = extract_probe(&sim, &cell.probe);
+                *slots[i].lock().expect("slot poisoned") = Some((report, probe, wall_ns));
+            });
+        }
+    });
+
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            let cell = slot.into_inner().expect("slot poisoned");
+            match cell {
+                Some((report, probe, wall_ns)) => CellResult {
+                    report: Some(report),
+                    probe,
+                    wall_ns,
+                },
+                None => CellResult {
+                    report: None,
+                    probe: None,
+                    wall_ns: 0,
+                },
+            }
+        })
+        .collect())
+}
+
+// ---------------------------------------------------------------------
+// Shared reducers: the named normalisation folds every figure uses.
+// ---------------------------------------------------------------------
+
+/// The time-like cost of one VM in a report (lower is better); `None`
+/// when the workload produced no metric.
+pub fn cost_of(report: &RunReport, vm_index: usize) -> Option<f64> {
+    report.vms.get(vm_index)?.metrics.time_cost()
+}
+
+/// `cost / baseline_cost` — the paper's normalisation: 1.0 matches
+/// the baseline cell (usually the default Xen scheduler), lower is
+/// better.
+pub fn normalized(cost: Option<f64>, baseline: Option<f64>) -> Option<f64> {
+    match (cost, baseline) {
+        (Some(c), Some(b)) if b > 0.0 => Some(c / b),
+        _ => None,
+    }
+}
+
+/// Mean of the per-VM normalised costs for VMs of `class` (`None` =
+/// all classes). `vm_classes` is the spec's per-VM ground truth
+/// ([`aql_scenarios::classes`]); VMs with missing metrics (idle
+/// padding) are skipped on both sides.
+pub fn class_mean_norm(
+    report: &RunReport,
+    baseline: &RunReport,
+    vm_classes: &[VcpuType],
+    class: Option<VcpuType>,
+) -> Option<f64> {
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (i, vm) in report.vms.iter().enumerate() {
+        if class.is_some_and(|c| vm_classes[i] != c) {
+            continue;
+        }
+        let cost = vm.metrics.time_cost();
+        let base = baseline.vms[i].metrics.time_cost();
+        if let Some(v) = normalized(cost, base) {
+            acc += v;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| acc / n as f64)
+}
+
+/// Averages an optional statistic over replicates; `None` unless
+/// every replicate produced a value.
+pub fn seed_mean(values: &[Option<f64>]) -> Option<f64> {
+    let mut acc = 0.0;
+    for v in values {
+        acc += (*v)?;
+    }
+    Some(acc / values.len() as f64)
+}
+
+/// The classes a spec populates, deduplicated in [`VcpuType::ALL`]
+/// order — the row order of every per-class figure.
+pub fn classes_present(spec: &ScenarioSpec) -> Vec<VcpuType> {
+    let classes = aql_scenarios::classes(spec);
+    VcpuType::ALL
+        .into_iter()
+        .filter(|c| classes.contains(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(name: &str) -> ScenarioSpec {
+        ScenarioSpec::parse(&format!(
+            "scenario = {name}\n\
+             machine = sockets=1 cores=2 cache=i7-3770\n\
+             warmup_ms = 100\n\
+             measure_ms = 250\n\
+             vm web workload=io/heterogeneous/150 seed=42\n\
+             vm walk-%i count=2 workload=walk/llcf|walk/llco\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn results_land_in_cell_order() {
+        let cells = vec![
+            PlanCell::new(tiny("a"), "xen-credit"),
+            PlanCell::new(tiny("b"), "fixed/10ms"),
+        ];
+        let out = execute(&cells, &ExecOpts::serial()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.report.is_some()));
+        assert!(out.iter().all(|r| r.wall_ns > 0));
+    }
+
+    #[test]
+    fn execution_is_thread_count_invariant() {
+        let cells: Vec<PlanCell> = (0..6)
+            .map(|i| {
+                PlanCell::new(
+                    tiny(&format!("t{i}")),
+                    if i % 2 == 0 {
+                        "xen-credit"
+                    } else {
+                        "fixed/5ms"
+                    },
+                )
+            })
+            .collect();
+        let serial = execute(&cells, &ExecOpts::serial()).unwrap();
+        let parallel = execute(
+            &cells,
+            &ExecOpts {
+                threads: 4,
+                ..ExecOpts::default()
+            },
+        )
+        .unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.report.as_ref().unwrap(), p.report.as_ref().unwrap());
+            assert_eq!(s.total_cpu_ns(), p.total_cpu_ns());
+            assert_eq!(s.vms[0].metrics.time_cost(), p.vms[0].metrics.time_cost());
+        }
+    }
+
+    #[test]
+    fn inapplicable_cells_yield_no_report() {
+        let spec = ScenarioSpec::parse(
+            "scenario = solo\n\
+             machine = sockets=1 cores=1 cache=i7-3770\n\
+             warmup_ms = 50\nmeasure_ms = 100\n\
+             vm a workload=walk/lolcf\n",
+        )
+        .unwrap();
+        let out = execute(
+            &[
+                PlanCell::new(spec.clone(), "vturbo"),
+                PlanCell::new(spec, "xen-credit"),
+            ],
+            &ExecOpts::serial(),
+        )
+        .unwrap();
+        assert!(out[0].report.is_none());
+        assert_eq!(out[0].wall_ns, 0);
+        assert!(out[1].report.is_some());
+    }
+
+    #[test]
+    fn malformed_tokens_fail_before_running() {
+        let err = execute(
+            &[PlanCell::new(tiny("x"), "fixed/oops")],
+            &ExecOpts::serial(),
+        );
+        assert!(err.is_err());
+        assert!(execute(&[], &ExecOpts::serial()).is_err());
+        // A socket list naming a socket the cell's machine lacks is a
+        // fail-fast configuration error, not a worker-thread panic.
+        let err = execute(
+            &[PlanCell::new(tiny("x"), "xen-credit/sockets=1-3")],
+            &ExecOpts::serial(),
+        );
+        assert!(
+            err.as_ref().is_err_and(|e| e.contains("does not exist")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn probes_extract_policy_state() {
+        let out = execute(
+            &[
+                PlanCell::new(tiny("p"), "aql-sched/history=8")
+                    .with_probe(Probe::CursorHistory { vcpu: 0 }),
+                PlanCell::new(tiny("p"), "aql-sched").with_probe(Probe::Reclusterings),
+                PlanCell::new(tiny("p"), "aql-sched").with_probe(Probe::VtrsMajority { vm: 0 }),
+                PlanCell::new(tiny("p"), "xen-credit").with_probe(Probe::Reclusterings),
+            ],
+            &ExecOpts::serial(),
+        )
+        .unwrap();
+        assert!(matches!(&out[0].probe, Some(ProbeOut::Cursors(rows)) if !rows.is_empty()));
+        assert!(matches!(out[1].probe, Some(ProbeOut::Reclusterings(_))));
+        assert!(matches!(out[2].probe, Some(ProbeOut::Majority(_))));
+        // A probe that needs AqlSched yields nothing under Xen.
+        assert!(out[3].probe.is_none());
+    }
+
+    #[test]
+    fn reducer_behaviour() {
+        assert_eq!(normalized(Some(2.0), Some(4.0)), Some(0.5));
+        assert_eq!(normalized(None, Some(1.0)), None);
+        assert_eq!(normalized(Some(1.0), Some(0.0)), None);
+        assert_eq!(seed_mean(&[Some(1.0), Some(3.0)]), Some(2.0));
+        assert_eq!(seed_mean(&[Some(1.0), None]), None);
+        let spec = tiny("c");
+        assert_eq!(
+            classes_present(&spec),
+            [VcpuType::IoInt, VcpuType::Llcf, VcpuType::Llco]
+        );
+    }
+}

@@ -23,16 +23,13 @@
 //! The `sweep` binary (`cargo run --release -p aql_experiments --bin
 //! sweep`) is the CLI over this module.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use aql_hv::apptype::VcpuType;
 use aql_hv::{RunReport, TimeMode};
-use aql_scenarios::{catalog, classes, policy_applicable, policy_for, run_seeded_in, ScenarioSpec};
+use aql_scenarios::{catalog, classes, parse_policy, ScenarioSpec};
 use aql_sim::rng::derive_seed;
 
 use crate::emit::{fmt_ratio, Table};
-use crate::runner::normalized;
+use crate::plan::{class_mean_norm, execute, seed_mean, ExecOpts, PlanCell};
 
 /// What to sweep and how to run it.
 #[derive(Debug, Clone)]
@@ -155,8 +152,10 @@ pub fn plan(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Vec<SweepJob> {
     jobs
 }
 
-/// Runs the matrix over the given specs. Fails fast (before spawning
-/// any thread) on an unknown policy name.
+/// Runs the matrix over the given specs — by expanding it into
+/// [`PlanCell`]s and fanning them through the shared plan executor
+/// ([`crate::plan::execute`]). Fails fast (before spawning any
+/// thread) on an unknown policy token.
 pub fn run_sweep_on(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Result<SweepOutcome, String> {
     let specs: Vec<ScenarioSpec> = specs
         .iter()
@@ -164,62 +163,29 @@ pub fn run_sweep_on(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Result<SweepOu
         .map(|s| if cfg.quick { s.quick() } else { s })
         .collect();
     for p in &cfg.policies {
-        if !aql_scenarios::POLICY_NAMES.contains(&p.as_str()) {
-            return Err(format!(
-                "unknown policy '{p}' (known: {})",
-                aql_scenarios::POLICY_NAMES.join(", ")
-            ));
-        }
+        parse_policy(p)?;
     }
     if specs.is_empty() || cfg.seeds == 0 || cfg.policies.is_empty() {
         return Err("empty sweep matrix".to_string());
     }
     let jobs = plan(&specs, cfg);
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        cfg.threads
-    }
-    .min(jobs.len());
-
-    // Workers claim jobs through an atomic cursor and park each
-    // report in the job's matrix slot: claiming order is racy,
-    // result placement is not.
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(RunReport, u64)>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let spec = &specs[job.scenario_index];
-                if !policy_applicable(spec, &job.policy) {
-                    continue;
-                }
-                let policy = policy_for(spec, &job.policy).expect("policy names validated above");
-                let t0 = std::time::Instant::now();
-                let report = run_seeded_in(spec, policy, job.base_seed, cfg.time_mode);
-                let wall_ns = t0.elapsed().as_nanos() as u64;
-                *slots[i].lock().expect("slot poisoned") = Some((report, wall_ns));
-            });
-        }
-    });
-
+    let cells: Vec<PlanCell> = jobs
+        .iter()
+        .map(|job| {
+            PlanCell::new(specs[job.scenario_index].clone(), &job.policy).with_seed(job.base_seed)
+        })
+        .collect();
+    let opts = ExecOpts {
+        threads: cfg.threads,
+        time_mode: cfg.time_mode,
+    };
     let results: Vec<SweepResult> = jobs
         .into_iter()
-        .zip(slots)
-        .map(|(job, slot)| {
-            let cell = slot.into_inner().expect("slot poisoned");
-            let (report, wall_ns) = match cell {
-                Some((r, w)) => (Some(r), w),
-                None => (None, 0),
-            };
-            SweepResult {
-                job,
-                report,
-                wall_ns,
-            }
+        .zip(execute(&cells, &opts)?)
+        .map(|(job, cell)| SweepResult {
+            job,
+            report: cell.report,
+            wall_ns: cell.wall_ns,
         })
         .collect();
     let table = aggregate(&specs, cfg, &results);
@@ -239,40 +205,6 @@ pub fn run_sweep(names: &[String], cfg: &SweepConfig) -> Result<SweepOutcome, St
         specs.push(spec);
     }
     run_sweep_on(&specs, cfg)
-}
-
-/// Mean of the per-VM normalised costs for VMs of `class` (`None` =
-/// all classes). Missing metrics (idle VMs) are skipped on both sides.
-fn mean_norm(
-    report: &RunReport,
-    baseline: &RunReport,
-    vm_classes: &[VcpuType],
-    class: Option<VcpuType>,
-) -> Option<f64> {
-    let mut acc = 0.0;
-    let mut n = 0usize;
-    for (i, vm) in report.vms.iter().enumerate() {
-        if class.is_some_and(|c| vm_classes[i] != c) {
-            continue;
-        }
-        let cost = vm.metrics.time_cost();
-        let base = baseline.vms[i].metrics.time_cost();
-        if let Some(v) = normalized(cost, base) {
-            acc += v;
-            n += 1;
-        }
-    }
-    (n > 0).then(|| acc / n as f64)
-}
-
-/// Averages an optional statistic over replicates; `None` unless
-/// every replicate produced a value.
-fn seed_mean(values: &[Option<f64>]) -> Option<f64> {
-    let mut acc = 0.0;
-    for v in values {
-        acc += (*v)?;
-    }
-    Some(acc / values.len() as f64)
 }
 
 /// Builds the aggregated comparison table: one row per scenario ×
@@ -304,7 +236,7 @@ fn aggregate(specs: &[ScenarioSpec], cfg: &SweepConfig, results: &[SweepResult])
                 let baseline_col = baseline_col?;
                 let vals: Vec<Option<f64>> = (0..cfg.seeds)
                     .map(|k| {
-                        mean_norm(
+                        class_mean_norm(
                             cell(s, k, p).report.as_ref()?,
                             cell(s, k, baseline_col).report.as_ref()?,
                             &vm_classes,

@@ -3,46 +3,43 @@
 use std::time::Instant;
 
 use aql_core::clustering::{cluster_machine, VcpuDesc};
-use aql_core::{AqlSched, QuantumTable, Vtrs, VtrsConfig};
+use aql_core::{QuantumTable, Vtrs, VtrsConfig};
 use aql_hv::apptype::VcpuType;
 use aql_hv::ids::{SocketId, VcpuId, VmId};
-use aql_hv::MachineSpec;
+use aql_hv::{MachineSpec, RunReport};
 use aql_mem::PmuSample;
+use aql_scenarios::vcpu_classes;
 
 use crate::emit::Table;
-use crate::fig5::catalog_scenario;
-use crate::fig6::{aql_for_fig3, scenario};
+use crate::fig5::catalog_spec;
+use crate::fig6::scenario_spec;
+use crate::plan::{execute, ExecOpts, PlanCell, Probe, ProbeOut};
 
 /// Table 3 — application type recognition: runs every catalog
-/// application consolidated under AQL_Sched and reports the type vTRS
-/// detected against the paper's ground truth.
-pub fn table3(quick: bool) -> Table {
+/// application consolidated under AQL_Sched (one plan cell per
+/// application, majority-vote probe over the application VM's vCPUs)
+/// and reports the detected type against the paper's ground truth.
+pub fn table3(quick: bool, opts: &ExecOpts) -> Table {
+    let apps = aql_workloads::all_apps();
+    let cells: Vec<PlanCell> = apps
+        .iter()
+        .map(|entry| {
+            let mut s = catalog_spec(entry.name);
+            if quick {
+                s = s.quick();
+            }
+            PlanCell::new(s, "aql-sched").with_probe(Probe::VtrsMajority { vm: 0 })
+        })
+        .collect();
+    let results = execute(&cells, opts).expect("table3 plan is well-formed");
     let mut table = Table::new(
         "Table3 application type recognition",
         &["application", "suite", "expected", "detected", "match"],
     );
-    for entry in aql_workloads::all_apps() {
-        let mut s = catalog_scenario(entry.name);
-        if quick {
-            s = s.quick();
-        }
-        let sim = s.run_sim(Box::new(AqlSched::paper_defaults()));
-        let policy = sim
-            .policy()
-            .as_any()
-            .downcast_ref::<AqlSched>()
-            .expect("AqlSched policy");
-        let vtrs = policy.vtrs().expect("vTRS active");
-        // Majority type over the application VM's vCPUs (VM index 0).
-        let app_vcpus = &sim.hv.vms[0].vcpus;
-        let mut counts = [0usize; 5];
-        for v in app_vcpus {
-            let t = vtrs.type_of(v.index());
-            let idx = VcpuType::ALL.iter().position(|&x| x == t).expect("typed");
-            counts[idx] += 1;
-        }
-        let best = (0..5).max_by_key(|&i| counts[i]).expect("non-empty");
-        let detected = VcpuType::ALL[best];
+    for (entry, result) in apps.iter().zip(&results) {
+        let Some(ProbeOut::Majority(detected)) = result.probe else {
+            panic!("table3 cell must yield a majority type");
+        };
         table.row(vec![
             entry.name.to_string(),
             entry.suite.to_string(),
@@ -56,46 +53,44 @@ pub fn table3(quick: bool) -> Table {
 
 /// Table 5 — the clustering AQL_Sched settles on for each scenario of
 /// Table 4.
-pub fn table5(quick: bool) -> Table {
+pub fn table5(quick: bool, opts: &ExecOpts) -> Table {
+    let mut cells = Vec::new();
+    let mut specs = Vec::new();
+    for id in 1..=5 {
+        let mut s = scenario_spec(id);
+        if quick {
+            s = s.quick();
+        }
+        cells.push(PlanCell::new(s.clone(), "aql-sched").with_probe(Probe::ClusterPlan));
+        specs.push(s);
+    }
+    let results = execute(&cells, opts).expect("table5 plan is well-formed");
     let mut table = Table::new(
         "Table5 clustering per scenario",
         &["scenario", "cluster", "quantum", "composition", "#pcpus"],
     );
-    for id in 1..=5 {
-        let mut s = scenario(id);
-        if quick {
-            s = s.quick();
-        }
-        // Map each vCPU to its scenario class for composition strings.
-        let mut vcpu_class: Vec<VcpuType> = Vec::new();
-        for (i, vm) in s.vms.iter().enumerate() {
-            let (spec, _) = (vm.factory)(i as u64);
-            for _ in 0..spec.vcpus {
-                vcpu_class.push(vm.class);
+    for (i, (spec, result)) in specs.iter().zip(&results).enumerate() {
+        let id = i + 1;
+        let vcpu_class = vcpu_classes(spec);
+        let clusters = match &result.probe {
+            Some(ProbeOut::Clusters(rows)) if !rows.is_empty() => rows,
+            _ => {
+                table.row(vec![
+                    format!("S{id}"),
+                    "-".into(),
+                    "-".into(),
+                    "no plan applied".into(),
+                    "-".into(),
+                ]);
+                continue;
             }
-        }
-        let sim = s.run_sim(Box::new(AqlSched::paper_defaults()));
-        let policy = sim
-            .policy()
-            .as_any()
-            .downcast_ref::<AqlSched>()
-            .expect("AqlSched policy");
-        let Some(plan) = policy.last_plan() else {
-            table.row(vec![
-                format!("S{id}"),
-                "-".into(),
-                "-".into(),
-                "no plan applied".into(),
-                "-".into(),
-            ]);
-            continue;
         };
-        for c in &plan.clusters {
+        for c in clusters {
             let mut counts = [0usize; 5];
-            for v in &c.vcpus {
+            for &v in &c.vcpus {
                 let idx = VcpuType::ALL
                     .iter()
-                    .position(|&x| x == vcpu_class[v.index()])
+                    .position(|&x| x == vcpu_class[v])
                     .expect("classed");
                 counts[idx] += 1;
             }
@@ -111,7 +106,7 @@ pub fn table5(quick: bool) -> Table {
                 c.label.clone(),
                 aql_sim::time::fmt_dur(c.quantum_ns),
                 composition,
-                c.pcpus.len().to_string(),
+                c.pcpus.to_string(),
             ]);
         }
     }
@@ -230,28 +225,28 @@ pub fn overhead() -> Table {
 
 /// Supplementary: AQL_Sched fleet-wide fairness on scenario S5 (the
 /// paper requires clustering to preserve each VM's booked CPU share).
-pub fn fairness(quick: bool) -> Table {
-    let mut s = scenario(5);
+pub fn fairness(quick: bool, opts: &ExecOpts) -> Table {
+    let mut s = scenario_spec(5);
     if quick {
         s = s.quick();
     }
-    let xen = s.run(Box::new(aql_baselines::xen_credit()));
-    let aql = s.run(Box::new(AqlSched::paper_defaults()));
+    let cells = vec![
+        PlanCell::new(s.clone(), "xen-credit"),
+        PlanCell::new(s, "aql-sched"),
+    ];
+    let results = execute(&cells, opts).expect("fairness plan is well-formed");
     let mut table = Table::new(
         "Fairness (Jain index over per-vCPU CPU time, 1.0 = perfectly fair)",
         &["policy", "jain index", "utilisation"],
     );
-    table.row(vec![
-        "xen-credit".into(),
-        format!("{:.4}", xen.jain_fairness()),
-        format!("{:.3}", xen.utilisation()),
-    ]);
-    table.row(vec![
-        "aql-sched".into(),
-        format!("{:.4}", aql.jain_fairness()),
-        format!("{:.3}", aql.utilisation()),
-    ]);
-    let _ = aql_for_fig3; // referenced by other subcommands
+    for (name, result) in ["xen-credit", "aql-sched"].iter().zip(&results) {
+        let report: &RunReport = result.report.as_ref().expect("fairness cell ran");
+        table.row(vec![
+            name.to_string(),
+            format!("{:.4}", report.jain_fairness()),
+            format!("{:.3}", report.utilisation()),
+        ]);
+    }
     table
 }
 

@@ -12,6 +12,19 @@ impl Simulation {
     /// Returns the stolen entry and the victim pCPU.
     pub(super) fn steal_from_peer(&mut self, pcpu: usize) -> Option<((VcpuId, Prio), PcpuId)> {
         let pool = self.hv.pcpus[pcpu].pool;
+        // Pinned vCPUs must never move; on machines with pins the
+        // queue scans take the predicate-filtered variants instead of
+        // the O(1) counters. Destructured so the predicate (borrowing
+        // `vcpus`) can run while `pcpus` queues are mutated.
+        let crate::engine::Hypervisor {
+            vcpus,
+            pcpus,
+            pools,
+            pinned_vcpus,
+            ..
+        } = &mut self.hv;
+        let has_pins = *pinned_vcpus > 0;
+        let movable = |v: VcpuId| vcpus[v.index()].pinned.is_none();
         // Pick the peer with the most *stealable* (non-BOOST) work,
         // lowest index on ties. Ranking by stealable length rather
         // than total length matters: a queue of only BOOST vCPUs
@@ -21,12 +34,16 @@ impl Simulation {
         // attempt, so it must not allocate.
         let mut victim: Option<usize> = None;
         let mut best_key = (0usize, 0usize);
-        for p in &self.hv.pools[pool.index()].pcpus {
+        for p in &pools[pool.index()].pcpus {
             let p = p.index();
             if p == pcpu {
                 continue;
             }
-            let len = self.hv.pcpus[p].queue.stealable_len();
+            let len = if has_pins {
+                pcpus[p].queue.stealable_len_where(movable)
+            } else {
+                pcpus[p].queue.stealable_len()
+            };
             if len == 0 {
                 continue;
             }
@@ -37,10 +54,12 @@ impl Simulation {
             }
         }
         let victim = victim?;
-        let entry = self.hv.pcpus[victim]
-            .queue
-            .steal_tail()
-            .expect("victim has stealable work");
+        let entry = if has_pins {
+            pcpus[victim].queue.steal_tail_where(movable)
+        } else {
+            pcpus[victim].queue.steal_tail()
+        }
+        .expect("victim has stealable work");
         Some((entry, PcpuId(victim)))
     }
 
@@ -52,6 +71,7 @@ impl Simulation {
         // The pCPU list is collected per pool because queues are
         // mutated inside the loop; the buffer is reused across calls.
         let mut pcpus = std::mem::take(&mut self.scratch.pool_pcpus);
+        let has_pins = self.hv.pinned_vcpus > 0;
         for pool_idx in 0..self.hv.pools.len() {
             pcpus.clear();
             pcpus.extend(self.hv.pools[pool_idx].pcpus.iter().map(|p| p.index()));
@@ -62,7 +82,16 @@ impl Simulation {
                 let load = |p: &usize| {
                     self.hv.pcpus[*p].queue.len() + usize::from(self.hv.pcpus[*p].running.is_some())
                 };
-                let stealable = |p: &usize| self.hv.pcpus[*p].queue.stealable_len();
+                let stealable = |p: &usize| {
+                    if has_pins {
+                        let vcpus = &self.hv.vcpus;
+                        self.hv.pcpus[*p]
+                            .queue
+                            .stealable_len_where(|v| vcpus[v.index()].pinned.is_none())
+                    } else {
+                        self.hv.pcpus[*p].queue.stealable_len()
+                    }
+                };
                 // The donor is the most loaded peer *among those with
                 // movable work*: an unfiltered pick would let a
                 // BOOST-only queue (never stolen from) win and abort
@@ -85,10 +114,14 @@ impl Simulation {
                 if load(&max_p) <= load(&min_p) + 1 {
                     break;
                 }
-                let (vid, prio) = self.hv.pcpus[max_p]
-                    .queue
-                    .steal_tail()
-                    .expect("donor has stealable work");
+                let (vid, prio) = if has_pins {
+                    let vcpus = &self.hv.vcpus;
+                    let movable = |v: VcpuId| vcpus[v.index()].pinned.is_none();
+                    self.hv.pcpus[max_p].queue.steal_tail_where(movable)
+                } else {
+                    self.hv.pcpus[max_p].queue.steal_tail()
+                }
+                .expect("donor has stealable work");
                 self.hv.vcpus[vid.index()].affine_pcpu = PcpuId(min_p);
                 self.hv.pcpus[min_p].queue.push_tail(prio, vid);
             }

@@ -52,6 +52,11 @@ pub struct Hypervisor {
     pub pools: Vec<CpuPool>,
     /// Per-socket shared LLC state.
     pub llcs: Vec<LlcState>,
+    /// Number of vCPUs with a hard pin ([`VmSpec::pin`]). The balance
+    /// paths only take their pin-aware (predicate-scanning) branches
+    /// when this is non-zero, so pin-free machines keep the exact
+    /// allocation-free fast paths.
+    pub pinned_vcpus: usize,
 }
 
 impl Hypervisor {
@@ -79,19 +84,30 @@ impl Hypervisor {
             pools: vec![CpuPool::default_pool(total)],
             llcs,
             machine,
+            pinned_vcpus: 0,
         }
     }
 
-    /// Admits a VM; its vCPUs join pool 0 with round-robin affinity.
+    /// Admits a VM; its vCPUs join pool 0 with round-robin affinity
+    /// (or the VM's hard pin, when one is declared).
     pub fn add_vm(&mut self, spec: VmSpec) -> VmId {
         assert!(spec.vcpus > 0, "a VM needs at least one vCPU");
+        let pin = spec.pin.map(|p| {
+            assert!(
+                p < self.machine.total_pcpus(),
+                "pin target pcpu{p} outside the machine"
+            );
+            PcpuId(p)
+        });
         let vm_id = VmId(self.vms.len());
         let mut ids = Vec::with_capacity(spec.vcpus);
         for slot in 0..spec.vcpus {
             let id = VcpuId(self.vcpus.len());
-            let affine = PcpuId(id.index() % self.machine.total_pcpus());
-            self.vcpus
-                .push(Vcpu::new(id, vm_id, slot, PoolId(0), affine));
+            let affine = pin.unwrap_or(PcpuId(id.index() % self.machine.total_pcpus()));
+            let mut vcpu = Vcpu::new(id, vm_id, slot, PoolId(0), affine);
+            vcpu.pinned = pin;
+            self.pinned_vcpus += usize::from(pin.is_some());
+            self.vcpus.push(vcpu);
             ids.push(id);
         }
         for llc in &mut self.llcs {
@@ -228,7 +244,10 @@ impl Hypervisor {
     pub(super) fn enqueue(&mut self, vcpu: VcpuId, prio: Prio, at_head: bool, from_wake: bool) {
         let v = &self.vcpus[vcpu.index()];
         let pool = v.pool;
-        let target = if self.pools[pool.index()].contains(v.affine_pcpu) {
+        let target = if let Some(pin) = v.pinned {
+            // Hard affinity wins over pool placement (Xen vcpu-pin).
+            pin
+        } else if self.pools[pool.index()].contains(v.affine_pcpu) {
             v.affine_pcpu
         } else {
             self.least_loaded_pcpu(pool)

@@ -648,3 +648,87 @@ fn run_until_never_moves_the_clock_backwards() {
     sim.run_until(SimTime(50 * MS));
     assert_eq!(sim.now(), SimTime(50 * MS));
 }
+
+#[test]
+fn pinned_vms_share_their_pcpu_and_others_idle() {
+    // Two hogs pinned to pCPU 0 of a 4-core machine: they split that
+    // core, and no other core ever runs them (hard affinity survives
+    // idle stealing and the periodic rebalance).
+    let mut sim = SimulationBuilder::new(machine(4))
+        .vm(
+            VmSpec {
+                pin: Some(0),
+                ..VmSpec::single("a")
+            },
+            Box::new(Hog),
+        )
+        .vm(
+            VmSpec {
+                pin: Some(0),
+                ..VmSpec::single("b")
+            },
+            Box::new(Hog),
+        )
+        .build();
+    assert_eq!(sim.hv.pinned_vcpus, 2);
+    sim.run_for(SEC);
+    let r = sim.report();
+    let a = r.vms[0].vcpu_cpu_ns[0];
+    let b = r.vms[1].vcpu_cpu_ns[0];
+    // Both ran, their sum is one core's worth, and the split is fair.
+    assert!(a > 0 && b > 0, "both pinned hogs must run ({a}, {b})");
+    let total = a + b;
+    assert!(
+        total as f64 > 0.98 * SEC as f64 && total <= SEC,
+        "two pinned hogs saturate exactly one core, got {total}"
+    );
+    // The other cores stayed idle: no stolen work.
+    for p in 1..4 {
+        assert_eq!(
+            sim.hv.pcpus[p].busy_ns, 0,
+            "pCPU {p} must never run a pinned vCPU"
+        );
+    }
+}
+
+#[test]
+fn pinned_vcpus_survive_pool_reconfiguration() {
+    // A plan that puts every vCPU in a pool over pCPUs {1, 2, 3} must
+    // not move a pinned vCPU off its pin: the pin beats the pool.
+    let mut sim = SimulationBuilder::new(machine(4))
+        .vm(
+            VmSpec {
+                pin: Some(0),
+                ..VmSpec::single("pinned")
+            },
+            Box::new(Hog),
+        )
+        .vm(VmSpec::single("free"), Box::new(Hog))
+        .build();
+    let pools = vec![
+        PoolSpec::new(vec![PcpuId(1), PcpuId(2), PcpuId(3)], 30 * MS),
+        PoolSpec::new(vec![PcpuId(0)], 30 * MS),
+    ];
+    let assignment = vec![PoolId(0); sim.hv.vcpus.len()];
+    sim.hv.apply_plan(pools, assignment).unwrap();
+    sim.run_for(SEC);
+    // The pinned hog ran on pCPU 0 only; the free hog elsewhere.
+    assert!(sim.hv.pcpus[0].busy_ns > 0, "pin target must run the VM");
+    let r = sim.report();
+    assert!(r.vms[0].vcpu_cpu_ns[0] > 0, "pinned vCPU starved");
+    assert!(r.vms[1].vcpu_cpu_ns[0] > 0, "free vCPU starved");
+}
+
+#[test]
+#[should_panic(expected = "pin target pcpu7 outside the machine")]
+fn pins_outside_the_machine_are_rejected() {
+    let _ = SimulationBuilder::new(machine(2))
+        .vm(
+            VmSpec {
+                pin: Some(7),
+                ..VmSpec::single("bad")
+            },
+            Box::new(Hog),
+        )
+        .build();
+}

@@ -94,6 +94,71 @@ impl SchedPolicy for FixedQuantumPolicy {
     }
 }
 
+/// A fixed-quantum credit scheduler restricted to a subset of the
+/// sockets (dom0-style reservation): guest vCPUs run only on the
+/// given sockets' pool; the remaining cores form a separate, empty
+/// pool. With the default 30 ms quantum this is "native Xen minus the
+/// dom0 socket", the baseline of the paper's 4-socket case (Fig. 3).
+#[derive(Debug, Clone)]
+pub struct RestrictedCredit {
+    quantum_ns: u64,
+    sockets: Vec<crate::ids::SocketId>,
+}
+
+impl RestrictedCredit {
+    /// 30 ms quantum over the given sockets.
+    pub fn new(sockets: Vec<crate::ids::SocketId>) -> Self {
+        RestrictedCredit {
+            quantum_ns: DEFAULT_QUANTUM_NS,
+            sockets,
+        }
+    }
+
+    /// An arbitrary fixed quantum over the given sockets.
+    pub fn with_quantum(sockets: Vec<crate::ids::SocketId>, quantum_ns: u64) -> Self {
+        RestrictedCredit {
+            quantum_ns,
+            sockets,
+        }
+    }
+
+    /// The guest-usable sockets.
+    pub fn sockets(&self) -> &[crate::ids::SocketId] {
+        &self.sockets
+    }
+}
+
+impl SchedPolicy for RestrictedCredit {
+    fn name(&self) -> &str {
+        "xen-credit-restricted"
+    }
+
+    fn init(&mut self, hv: &mut Hypervisor) {
+        let mut guest: Vec<crate::ids::PcpuId> = Vec::new();
+        let mut reserved: Vec<crate::ids::PcpuId> = Vec::new();
+        for s in 0..hv.machine.sockets {
+            let socket = crate::ids::SocketId(s);
+            let pcpus = hv.machine.pcpus_of_socket(socket);
+            if self.sockets.contains(&socket) {
+                guest.extend(pcpus);
+            } else {
+                reserved.extend(pcpus);
+            }
+        }
+        let mut pools = vec![PoolSpec::new(guest, self.quantum_ns)];
+        if !reserved.is_empty() {
+            pools.push(PoolSpec::new(reserved, self.quantum_ns));
+        }
+        let assignment = vec![PoolId(0); hv.vcpus.len()];
+        hv.apply_plan(pools, assignment)
+            .expect("socket split is always valid");
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

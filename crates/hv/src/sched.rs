@@ -109,6 +109,31 @@ impl RunQueue {
         self.over.pop_back().map(|v| (v, Prio::Over))
     }
 
+    /// Like [`RunQueue::steal_tail`], but only takes vCPUs the
+    /// predicate admits (used to skip hard-pinned vCPUs): the latest
+    /// admissible `UNDER` entry, else the latest admissible `OVER`
+    /// one. The plain variant stays the hot-path default; this scan
+    /// only runs on machines that actually pin vCPUs.
+    pub fn steal_tail_where(&mut self, admit: impl Fn(VcpuId) -> bool) -> Option<(VcpuId, Prio)> {
+        if let Some(pos) = self.under.iter().rposition(|&v| admit(v)) {
+            let v = self.under.remove(pos).expect("position is in range");
+            return Some((v, Prio::Under));
+        }
+        let pos = self.over.iter().rposition(|&v| admit(v))?;
+        let v = self.over.remove(pos).expect("position is in range");
+        Some((v, Prio::Over))
+    }
+
+    /// Like [`RunQueue::stealable_len`], but counting only vCPUs the
+    /// predicate admits.
+    pub fn stealable_len_where(&self, admit: impl Fn(VcpuId) -> bool) -> usize {
+        self.under
+            .iter()
+            .chain(self.over.iter())
+            .filter(|&&v| admit(v))
+            .count()
+    }
+
     /// Removes a specific vCPU wherever it is queued; returns whether
     /// it was present.
     pub fn remove(&mut self, id: VcpuId) -> bool {
@@ -231,6 +256,7 @@ mod tests {
                 weight,
                 cap_pct: None,
                 vcpus: vcpus.len(),
+                pin: None,
             },
             vcpus: vcpus.iter().map(|&v| VcpuId(v)).collect(),
         }

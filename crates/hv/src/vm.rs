@@ -18,6 +18,11 @@ pub struct VmSpec {
     pub cap_pct: Option<u32>,
     /// Number of vCPUs.
     pub vcpus: usize,
+    /// Hard pCPU affinity: all of the VM's vCPUs run *only* on this
+    /// pCPU (Xen `vcpu-pin`). Pinned vCPUs are never stolen or
+    /// rebalanced, and the pin overrides pool placement. `None` =
+    /// free placement (the default).
+    pub pin: Option<usize>,
 }
 
 impl VmSpec {
@@ -28,6 +33,7 @@ impl VmSpec {
             weight: 256,
             cap_pct: None,
             vcpus: 1,
+            pin: None,
         }
     }
 
@@ -97,6 +103,10 @@ pub struct Vcpu {
     pub pool: PoolId,
     /// Preferred pCPU (last queue position); must be in `pool`.
     pub affine_pcpu: PcpuId,
+    /// Hard affinity from [`VmSpec::pin`]: when set, the vCPU only
+    /// ever queues and runs on this pCPU (never stolen, never
+    /// rebalanced, pin beats pool placement).
+    pub pinned: Option<PcpuId>,
     /// Per-vCPU quantum override (vSlicer-style); `None` uses the
     /// pool quantum.
     pub quantum_override: Option<u64>,
@@ -149,6 +159,7 @@ impl Vcpu {
             unbilled_ns: 0,
             pool,
             affine_pcpu: affine,
+            pinned: None,
             quantum_override: None,
             kick_period_ns: None,
             last_desched: SimTime::ZERO,

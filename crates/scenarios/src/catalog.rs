@@ -159,8 +159,93 @@ vm batch-%i count=2 workload=walk/llcf
 vm ghost-%i count=2 workload=idle
 ";
 
+/// s1–s5 — the five colocation scenarios of the paper's Table 4:
+/// 16 vCPUs on a 4-core single socket. These back Fig. 6 (left),
+/// Fig. 8, Table 5 and the fairness table; explicit seeds pin the
+/// historic per-VM streams (base seed 42 + placement index).
+pub const S1: &str = "\
+# Table 4, S1: 5 ConSpin (fluidanimate), 5 LLCF (bzip2), 6 LoLCF (hmmer).
+scenario   = s1
+machine    = name=fig6-4core sockets=1 cores=4 cache=i7-3770
+vm fluidanimate workload=spin/kernbench/5 seed=42
+vm bzip2-%i count=5 workload=walk/llcf
+vm hmmer-%i count=6 workload=walk/lolcf
+";
+
+/// Table 4, S2 (see [`S1`]).
+pub const S2: &str = "\
+# Table 4, S2: 5 IOInt (SPECweb), 5 LLCF (bzip2), 6 LLCO (libquantum).
+scenario   = s2
+machine    = name=fig6-4core sockets=1 cores=4 cache=i7-3770
+vm SPECweb-%i count=5 workload=io/heterogeneous/120 seed=42+
+vm bzip2-%i count=5 workload=walk/llcf
+vm libquantum-%i count=6 workload=walk/llco
+";
+
+/// Table 4, S3 (see [`S1`]).
+pub const S3: &str = "\
+# Table 4, S3: 5 LLCF, 5 LLCO, 6 LoLCF.
+scenario   = s3
+machine    = name=fig6-4core sockets=1 cores=4 cache=i7-3770
+vm bzip2-%i count=5 workload=walk/llcf
+vm libquantum-%i count=5 workload=walk/llco
+vm hmmer-%i count=6 workload=walk/lolcf
+";
+
+/// Table 4, S4 (see [`S1`]).
+pub const S4: &str = "\
+# Table 4, S4: 4 IOInt, 4 ConSpin (facesim), 4 LLCF, 4 LLCO.
+scenario   = s4
+machine    = name=fig6-4core sockets=1 cores=4 cache=i7-3770
+vm SPECweb-%i count=4 workload=io/heterogeneous/120 seed=42+
+vm facesim workload=spin/kernbench/4 seed=46
+vm bzip2-%i count=4 workload=walk/llcf
+vm libquantum-%i count=4 workload=walk/llco
+";
+
+/// Table 4, S5 (see [`S1`]) — also the Fig. 8 comparison mix.
+pub const S5: &str = "\
+# Table 4, S5: 4 IOInt, 4 ConSpin, 4 LLCF, 2 LLCO, 2 LoLCF.
+scenario   = s5
+machine    = name=fig6-4core sockets=1 cores=4 cache=i7-3770
+vm SPECweb-%i count=4 workload=io/heterogeneous/120 seed=42+
+vm facesim workload=spin/kernbench/4 seed=46
+vm bzip2-%i count=4 workload=walk/llcf
+vm libquantum-%i count=2 workload=walk/llco
+vm hmmer-%i count=2 workload=walk/lolcf
+";
+
+/// fig3-complex — the paper's Fig. 3 worked example on the 4-socket
+/// Xeon: 48 vCPUs (12 IOInt⁺, 17 LLCF, 7 ConSpin⁻ as a 4+3 job pair,
+/// 12 LLCO). Socket 0 is dom0's: run it under
+/// `xen-credit/sockets=1-3` and `aql-sched/sockets=1-3`.
+pub const FIG3_COMPLEX: &str = "\
+# The Fig. 3 population: 12 IOInt+, 17 LLCF, 7 ConSpin- (4+3), 12 LLCO.
+# The walkers carry the calibration host's cache overlay: the paper's
+# benchmark binaries keep their i7-sized working sets on the Xeon.
+scenario   = fig3-complex
+machine    = name=Xeon-E5-4603 sockets=4 cores=4 cache=xeon-e5-4603
+vm ioplus-%i count=12 workload=io/plus/120 seed=42+
+vm llcf-%i count=17 workload=walk/llcf cache=i7-3770
+vm spin-a workload=spin/kernbench/4 seed=71
+vm spin-b workload=spin/kernbench/3 seed=72
+vm llco-%i count=12 workload=walk/llco cache=i7-3770
+";
+
+/// pinned-calibration — a Fig. 2(b)-style calibration cell expressed
+/// on the full 8-core host: the measured VM and its fillers share
+/// pCPU 0 through hard `pin=` affinity while the other cores idle,
+/// instead of shrinking the machine to one core.
+pub const PINNED_CALIBRATION: &str = "\
+# Calibration cell on the full host: 4 vCPUs pinned to pCPU 0, 7 cores idle.
+scenario   = pinned-calibration
+machine    = name=i7-3770 sockets=1 cores=8 cache=i7-3770
+vm baseline workload=io/heterogeneous/120 seed=42 pin=0
+vm filler-%i count=3 workload=walk/lolcf pin=0
+";
+
 /// Every catalog entry as `(name, document)`, in sweep order.
-pub const ENTRIES: [(&str, &str); 12] = [
+pub const ENTRIES: [(&str, &str); 19] = [
     ("quickstart", QUICKSTART),
     ("webfarm", WEBFARM),
     ("parsec-batch", PARSEC_BATCH),
@@ -173,6 +258,13 @@ pub const ENTRIES: [(&str, &str); 12] = [
     ("foursocket", FOURSOCKET),
     ("solo-calibration", SOLO_CALIBRATION),
     ("nightly-lull", NIGHTLY_LULL),
+    ("s1", S1),
+    ("s2", S2),
+    ("s3", S3),
+    ("s4", S4),
+    ("s5", S5),
+    ("fig3-complex", FIG3_COMPLEX),
+    ("pinned-calibration", PINNED_CALIBRATION),
 ];
 
 /// Catalog names in sweep order.

@@ -41,6 +41,11 @@
 //!   * `weight=<n>` — Credit weight override (default: 256 per vCPU).
 //!   * `class=<label>` — ground-truth type override (default: derived
 //!     from the workload token).
+//!   * `pin=<pcpu>` — hard pCPU pin for every instance's vCPUs (the
+//!     single-pCPU calibration panels); must name a pCPU that exists.
+//!   * `cache=<preset>` — size the workload model against this cache
+//!     preset instead of the host machine's (benchmark binaries keep
+//!     their working sets wherever they run).
 //!
 //! Every spec round-trips: [`ScenarioSpec::to_text`] serialises the
 //! canonical form and [`ScenarioSpec::parse`] reproduces the value
@@ -148,6 +153,13 @@ pub struct VmDecl {
     pub weight: Option<u32>,
     /// Ground-truth class override; `None` derives from the workload.
     pub class: Option<VcpuType>,
+    /// Hard pCPU pin: every instance's vCPUs run only on this pCPU
+    /// (the single-pCPU calibration panels); `None` = free placement.
+    pub pin: Option<usize>,
+    /// Cache overlay: size the workload model against this preset
+    /// instead of the host machine's (a benchmark binary keeps its
+    /// working set wherever it runs). `None` = the machine's cache.
+    pub cache: Option<CachePreset>,
 }
 
 impl VmDecl {
@@ -286,6 +298,8 @@ fn parse_vm(rest: &str, line: usize) -> Result<VmDecl, SpecError> {
         seed: None,
         weight: None,
         class: None,
+        pin: None,
+        cache: None,
     };
     for tok in toks {
         let Some((k, v)) = split_kv(tok) else {
@@ -322,6 +336,14 @@ fn parse_vm(rest: &str, line: usize) -> Result<VmDecl, SpecError> {
             "class" => match VcpuType::from_label(v) {
                 Some(c) => decl.class = Some(c),
                 None => return err(line, format!("unknown class '{v}'")),
+            },
+            "pin" => match v.parse::<usize>() {
+                Ok(p) => decl.pin = Some(p),
+                Err(_) => return err(line, format!("bad pin '{v}'")),
+            },
+            "cache" => match CachePreset::parse(v) {
+                Some(c) => decl.cache = Some(c),
+                None => return err(line, format!("unknown cache preset '{v}'")),
             },
             _ => return err(line, format!("unknown vm attribute '{k}'")),
         }
@@ -427,6 +449,10 @@ impl ScenarioSpec {
         if names.len() != total {
             return err(0, "duplicate VM instance names");
         }
+        let pcpus = machine.sockets * machine.cores_per_socket;
+        if let Some(bad) = vms.iter().find_map(|vm| vm.pin.filter(|&p| p >= pcpus)) {
+            return err(0, format!("pin={bad} outside the {pcpus}-pCPU machine"));
+        }
         Ok(ScenarioSpec {
             name,
             machine,
@@ -481,6 +507,12 @@ impl ScenarioSpec {
             if let Some(c) = vm.class {
                 out.push_str(&format!(" class={}", c.label()));
             }
+            if let Some(p) = vm.pin {
+                out.push_str(&format!(" pin={p}"));
+            }
+            if let Some(c) = vm.cache {
+                out.push_str(&format!(" cache={}", c.token()));
+            }
             out.push('\n');
         }
         out
@@ -507,6 +539,44 @@ impl ScenarioSpec {
     pub fn quick(mut self) -> Self {
         self.warmup_ns = 300 * MS;
         self.measure_ns = 1000 * MS;
+        self
+    }
+
+    // -----------------------------------------------------------------
+    // Overlays: experiment plans derive axis variants of a base spec
+    // (a machine swap, a different window, a finer engine sub-step)
+    // without re-serialising scenario text.
+    // -----------------------------------------------------------------
+
+    /// Overlay: replaces the warm-up window (ns).
+    pub fn with_warmup_ns(mut self, warmup_ns: u64) -> Self {
+        self.warmup_ns = warmup_ns;
+        self
+    }
+
+    /// Overlay: replaces the measured window (ns; must be positive).
+    pub fn with_measure_ns(mut self, measure_ns: u64) -> Self {
+        assert!(measure_ns > 0, "measure window must be positive");
+        self.measure_ns = measure_ns;
+        self
+    }
+
+    /// Overlay: replaces the engine sub-step (ns; must be positive).
+    pub fn with_substep_ns(mut self, substep_ns: u64) -> Self {
+        assert!(substep_ns > 0, "sub-step must be positive");
+        self.substep_ns = substep_ns;
+        self
+    }
+
+    /// Overlay: replaces the machine shape. Panics if a declared
+    /// `pin=` no longer fits the new machine.
+    pub fn with_machine(mut self, machine: MachineDecl) -> Self {
+        let pcpus = machine.sockets * machine.cores_per_socket;
+        assert!(
+            self.vms.iter().all(|vm| vm.pin.is_none_or(|p| p < pcpus)),
+            "a pinned VM does not fit the overlay machine"
+        );
+        self.machine = machine;
         self
     }
 }
@@ -575,6 +645,83 @@ vm ghost   workload=idle class=IOInt
         assert_eq!(s.warmup_ns, DEFAULT_WARMUP_NS);
         assert_eq!(s.measure_ns, DEFAULT_MEASURE_NS);
         assert_eq!(s.substep_ns, DEFAULT_SUBSTEP_NS);
+    }
+
+    #[test]
+    fn pin_and_cache_attrs_parse_and_round_trip() {
+        let s = ScenarioSpec::parse(
+            "scenario = pinned\n\
+             machine = sockets=1 cores=8 cache=i7-3770\n\
+             vm a workload=io/heterogeneous/120 seed=42 pin=0\n\
+             vm b-%i count=3 workload=walk/llcf pin=0 cache=xeon-e5-4603\n\
+             vm c workload=walk/llco cache=i7-3770\n",
+        )
+        .unwrap();
+        assert_eq!(s.vms[0].pin, Some(0));
+        assert_eq!(s.vms[0].cache, None);
+        assert_eq!(s.vms[1].pin, Some(0));
+        assert_eq!(s.vms[1].cache, Some(CachePreset::XeonE5_4603));
+        assert_eq!(s.vms[2].pin, None);
+        assert_eq!(s.vms[2].cache, Some(CachePreset::I7_3770));
+        let back = ScenarioSpec::parse(&s.to_text()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pins_must_fit_the_machine() {
+        let e = ScenarioSpec::parse(
+            "scenario = x\nmachine = sockets=1 cores=2 cache=i7-3770\n\
+             vm a workload=idle pin=2\n",
+        )
+        .unwrap_err();
+        assert!(
+            e.message.contains("pin=2 outside the 2-pCPU machine"),
+            "{e}"
+        );
+        let e = ScenarioSpec::parse(
+            "scenario = x\nmachine = sockets=1 cores=2 cache=i7-3770\n\
+             vm a workload=idle pin=no\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("bad pin"), "{e}");
+    }
+
+    #[test]
+    fn overlays_replace_single_fields() {
+        let s = ScenarioSpec::parse(
+            "scenario = o\nmachine = sockets=1 cores=2 cache=i7-3770\nvm a workload=idle\n",
+        )
+        .unwrap();
+        let o = s
+            .clone()
+            .with_warmup_ns(7)
+            .with_measure_ns(9)
+            .with_substep_ns(11);
+        assert_eq!((o.warmup_ns, o.measure_ns, o.substep_ns), (7, 9, 11));
+        assert_eq!(o.vms, s.vms);
+        let m = MachineDecl {
+            name: Some("big".into()),
+            sockets: 2,
+            cores_per_socket: 4,
+            cache: CachePreset::XeonE5_4603,
+        };
+        assert_eq!(s.clone().with_machine(m.clone()).machine, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned VM does not fit")]
+    fn machine_overlay_checks_pins() {
+        let s = ScenarioSpec::parse(
+            "scenario = o\nmachine = sockets=1 cores=8 cache=i7-3770\n\
+             vm a workload=idle pin=7\n",
+        )
+        .unwrap();
+        let _ = s.with_machine(MachineDecl {
+            name: None,
+            sockets: 1,
+            cores_per_socket: 2,
+            cache: CachePreset::I7_3770,
+        });
     }
 
     #[test]

@@ -151,6 +151,57 @@ pub fn fmt_dur(ns: u64) -> String {
     }
 }
 
+/// Parses a human duration token (`"90ms"`, `"100us"`, `"1.5s"`,
+/// `"250ns"`) into nanoseconds — the inverse of [`fmt_dur`]. Returns
+/// `None` for malformed input, non-positive values and values that do
+/// not land on a whole nanosecond.
+///
+/// # Examples
+///
+/// ```
+/// use aql_sim::time::{parse_dur, MS, SEC};
+///
+/// assert_eq!(parse_dur("30ms"), Some(30 * MS));
+/// assert_eq!(parse_dur("1.5s"), Some(1500 * MS));
+/// // Whole-ns fractions survive float noise (16.1 * 1000 != 16100.0
+/// // exactly), so the fmt_dur round-trip holds...
+/// assert_eq!(parse_dur("16.1us"), Some(16_100));
+/// assert_eq!(parse_dur(&aql_sim::time::fmt_dur(16_100)), Some(16_100));
+/// assert_eq!(parse_dur(&aql_sim::time::fmt_dur(90 * MS)), Some(90 * MS));
+/// // ...while genuine sub-ns precision is still rejected.
+/// assert_eq!(parse_dur("0.5ns"), None);
+/// assert_eq!(parse_dur("oops"), None);
+/// ```
+pub fn parse_dur(token: &str) -> Option<u64> {
+    let (number, unit_ns) = if let Some(n) = token.strip_suffix("ns") {
+        (n, 1)
+    } else if let Some(n) = token.strip_suffix("us") {
+        (n, US)
+    } else if let Some(n) = token.strip_suffix("ms") {
+        (n, MS)
+    } else if let Some(n) = token.strip_suffix('s') {
+        (n, SEC)
+    } else {
+        return None;
+    };
+    if let Ok(whole) = number.parse::<u64>() {
+        return whole.checked_mul(unit_ns).filter(|&ns| ns > 0);
+    }
+    let frac: f64 = number.parse().ok()?;
+    if !frac.is_finite() || frac <= 0.0 {
+        return None;
+    }
+    let ns = frac * unit_ns as f64;
+    let rounded = ns.round();
+    // Accept values that are a whole number of ns up to float noise
+    // ("16.1us" computes 16099.999…), but reject genuine sub-ns
+    // precision ("0.5ns"): a spec that cannot be represented exactly
+    // must not be silently rounded.
+    let tolerance = 1e-6 * unit_ns as f64;
+    ((ns - rounded).abs() < tolerance && rounded > 0.0 && rounded <= u64::MAX as f64)
+        .then_some(rounded as u64)
+}
+
 /// Number of whole `step_ns` steps that fit between `from` and `until`
 /// (zero when `until` is not after `from`). This is the grid arithmetic
 /// the engine's adaptive time-advance uses to fast-forward a proven

@@ -98,6 +98,39 @@ impl IoServerCfg {
             ..IoServerCfg::exclusive(arrival_rate_hz)
         }
     }
+
+    /// The IOInt⁺ regime of the Fig. 3 worked example: IO-intensive
+    /// *and* LLC-trashing — both the request service code and the
+    /// background compute stream through a working set larger than
+    /// the LLC. The `io/plus/<rate>` workload token.
+    pub fn plus(arrival_rate_hz: f64) -> Self {
+        let trashing = MemProfile {
+            wss_bytes: 32 * 1024 * 1024,
+            deep_refs_per_instr: 0.08,
+            base_ns_per_instr: 0.40,
+        };
+        IoServerCfg {
+            profile: trashing,
+            background: Some(trashing),
+            ..IoServerCfg::exclusive(arrival_rate_hz)
+        }
+    }
+
+    /// The BOOST-ablation co-runner: identical arrivals and service to
+    /// [`IoServerCfg::exclusive`], but a vanishingly light background
+    /// loop keeps the vCPU permanently runnable, so its wakes never
+    /// qualify for BOOST ("boost off" with everything else equal).
+    /// The `io/noboost/<rate>` workload token.
+    pub fn noboost(arrival_rate_hz: f64) -> Self {
+        IoServerCfg {
+            background: Some(MemProfile {
+                wss_bytes: 16 * 1024,
+                deep_refs_per_instr: 0.001,
+                base_ns_per_instr: 0.40,
+            }),
+            ..IoServerCfg::exclusive(arrival_rate_hz)
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -13,7 +13,9 @@
 //! | `io/exclusive/<rate>` | [`IoServer`], exclusive-IO regime (Fig. 2a) |
 //! | `io/heterogeneous/<rate>` | [`IoServer`], CGI-heavy regime (Fig. 2b) |
 //! | `io/mail/<rate>` | [`IoServer`], SPECmail-style heavy requests |
-//! | `spin/kernbench/<threads>` | [`SpinJob`], kernbench/PARSEC preset |
+//! | `io/plus/<rate>` | [`IoServer`], IOInt⁺ — IO-intensive and LLC-trashing (Fig. 3) |
+//! | `io/noboost/<rate>` | [`IoServer`], never-blocking exclusive server (BOOST ablation) |
+//! | `spin/kernbench/<threads>[/<flags>]` | [`SpinJob`], kernbench/PARSEC preset; flags `fifo`, `ple` or `fifo+ple` select the lock fabric and PLE yield |
 //! | `walk/llcf`, `walk/lolcf`, `walk/llco` | [`MemWalk`] of that class |
 //! | `app/<name>` | the named Table 3 catalog model |
 //! | `phased/shift/<phase_ms>` | [`PhasedMemWalk`] cycling LoLCF → LLCF → LLCO |
@@ -34,7 +36,7 @@ use crate::memwalk::MemWalk;
 use crate::phased::{Phase, PhasedMemWalk};
 use crate::spinjob::{SpinJob, SpinJobCfg};
 
-/// The IO-server regimes a spec can name (§3.2; Fig. 2a/2b).
+/// The IO-server regimes a spec can name (§3.2; Fig. 2a/2b, Fig. 3).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum IoRegime {
     /// Light requests only; the vCPU blocks between requests.
@@ -43,6 +45,12 @@ pub enum IoRegime {
     Heterogeneous,
     /// SPECmail-style: exclusive IO with periodic heavy requests.
     Mail,
+    /// IOInt⁺ (Fig. 3): IO-intensive *and* LLC-trashing.
+    Plus,
+    /// BOOST-ablation co-runner: exclusive arrivals, but a feather-
+    /// weight background loop keeps the vCPU runnable so wakes never
+    /// earn BOOST.
+    Noboost,
 }
 
 impl IoRegime {
@@ -51,6 +59,8 @@ impl IoRegime {
             IoRegime::Exclusive => "exclusive",
             IoRegime::Heterogeneous => "heterogeneous",
             IoRegime::Mail => "mail",
+            IoRegime::Plus => "plus",
+            IoRegime::Noboost => "noboost",
         }
     }
 }
@@ -69,6 +79,11 @@ pub enum WorkloadSpec {
     Spin {
         /// Guest threads; the VM gets one vCPU per thread.
         threads: usize,
+        /// Strict FIFO ticket lock instead of test-and-set (the lock-
+        /// fabric ablation; `/fifo` flag).
+        fifo_lock: bool,
+        /// Directed yield on pause-loop exits (`/ple` flag).
+        yield_on_ple: bool,
     },
     /// A CPU-burn memory walker of the given class (`Llcf`, `Lolcf`
     /// or `Llco`).
@@ -103,6 +118,8 @@ impl WorkloadSpec {
                     "exclusive" => IoRegime::Exclusive,
                     "heterogeneous" => IoRegime::Heterogeneous,
                     "mail" => IoRegime::Mail,
+                    "plus" => IoRegime::Plus,
+                    "noboost" => IoRegime::Noboost,
                     _ => return Err(format!("unknown io regime '{regime}' in '{token}'")),
                 };
                 let rate_hz: f64 = rate.parse().map_err(|_| bad())?;
@@ -111,12 +128,31 @@ impl WorkloadSpec {
                 }
                 Ok(WorkloadSpec::Io { regime, rate_hz })
             }
-            ["spin", "kernbench", threads] => {
+            ["spin", "kernbench", threads] | ["spin", "kernbench", threads, _] => {
                 let threads: usize = threads.parse().map_err(|_| bad())?;
                 if threads == 0 {
                     return Err(format!("spin thread count must be positive in '{token}'"));
                 }
-                Ok(WorkloadSpec::Spin { threads })
+                let mut fifo_lock = false;
+                let mut yield_on_ple = false;
+                if let ["spin", "kernbench", _, flags] = fields.as_slice() {
+                    for flag in flags.split('+') {
+                        match flag {
+                            "fifo" if !fifo_lock => fifo_lock = true,
+                            "ple" if !yield_on_ple => yield_on_ple = true,
+                            _ => {
+                                return Err(format!(
+                                    "unknown or repeated spin flag '{flag}' in '{token}'"
+                                ))
+                            }
+                        }
+                    }
+                }
+                Ok(WorkloadSpec::Spin {
+                    threads,
+                    fifo_lock,
+                    yield_on_ple,
+                })
             }
             ["walk", class] => {
                 let class = VcpuType::from_label(class)
@@ -161,7 +197,7 @@ impl WorkloadSpec {
     /// The vCPU count of the VM this workload drives.
     pub fn vcpus(&self) -> usize {
         match self {
-            WorkloadSpec::Spin { threads } => *threads,
+            WorkloadSpec::Spin { threads, .. } => *threads,
             WorkloadSpec::App { name } => find_app(name).expect("validated at parse").vcpus,
             _ => 1,
         }
@@ -190,18 +226,26 @@ impl WorkloadSpec {
                     IoRegime::Exclusive => IoServerCfg::exclusive(*rate_hz),
                     IoRegime::Heterogeneous => IoServerCfg::heterogeneous(*rate_hz),
                     IoRegime::Mail => IoServerCfg::mail(*rate_hz),
+                    IoRegime::Plus => IoServerCfg::plus(*rate_hz),
+                    IoRegime::Noboost => IoServerCfg::noboost(*rate_hz),
                 };
                 (single(), Box::new(IoServer::new(vm_name, cfg, seed)))
             }
-            WorkloadSpec::Spin { threads } => {
+            WorkloadSpec::Spin {
+                threads,
+                fifo_lock,
+                yield_on_ple,
+            } => {
                 let spec = VmSpec {
                     weight: self.default_weight(),
                     ..VmSpec::smp(vm_name, *threads)
                 };
-                (
-                    spec,
-                    Box::new(SpinJob::new(vm_name, SpinJobCfg::kernbench(*threads), seed)),
-                )
+                let cfg = SpinJobCfg {
+                    fifo_lock: *fifo_lock,
+                    yield_on_ple: *yield_on_ple,
+                    ..SpinJobCfg::kernbench(*threads)
+                };
+                (spec, Box::new(SpinJob::new(vm_name, cfg, seed)))
             }
             WorkloadSpec::Walk { class } => {
                 let wl = match class {
@@ -246,7 +290,19 @@ impl fmt::Display for WorkloadSpec {
             WorkloadSpec::Io { regime, rate_hz } => {
                 write!(f, "io/{}/{}", regime.token(), rate_hz)
             }
-            WorkloadSpec::Spin { threads } => write!(f, "spin/kernbench/{threads}"),
+            WorkloadSpec::Spin {
+                threads,
+                fifo_lock,
+                yield_on_ple,
+            } => {
+                write!(f, "spin/kernbench/{threads}")?;
+                match (fifo_lock, yield_on_ple) {
+                    (false, false) => Ok(()),
+                    (true, false) => f.write_str("/fifo"),
+                    (false, true) => f.write_str("/ple"),
+                    (true, true) => f.write_str("/fifo+ple"),
+                }
+            }
             WorkloadSpec::Walk { class } => {
                 write!(f, "walk/{}", class.label().to_lowercase())
             }
@@ -276,7 +332,34 @@ mod tests {
                 regime: IoRegime::Mail,
                 rate_hz: 150.5,
             },
-            WorkloadSpec::Spin { threads: 4 },
+            WorkloadSpec::Io {
+                regime: IoRegime::Plus,
+                rate_hz: 120.0,
+            },
+            WorkloadSpec::Io {
+                regime: IoRegime::Noboost,
+                rate_hz: 150.0,
+            },
+            WorkloadSpec::Spin {
+                threads: 4,
+                fifo_lock: false,
+                yield_on_ple: false,
+            },
+            WorkloadSpec::Spin {
+                threads: 2,
+                fifo_lock: true,
+                yield_on_ple: false,
+            },
+            WorkloadSpec::Spin {
+                threads: 2,
+                fifo_lock: false,
+                yield_on_ple: true,
+            },
+            WorkloadSpec::Spin {
+                threads: 8,
+                fifo_lock: true,
+                yield_on_ple: true,
+            },
             WorkloadSpec::Walk {
                 class: VcpuType::Llcf,
             },
@@ -304,7 +387,12 @@ mod tests {
         for token in [
             "io/heterogeneous/120",
             "io/mail/200",
+            "io/plus/120",
+            "io/noboost/150",
             "spin/kernbench/4",
+            "spin/kernbench/2/fifo",
+            "spin/kernbench/2/ple",
+            "spin/kernbench/2/fifo+ple",
             "walk/llco",
             "app/streamcluster",
             "phased/shift/500",
@@ -338,6 +426,9 @@ mod tests {
             "io/exclusive/-5",
             "io/exclusive/abc",
             "spin/kernbench/0",
+            "spin/kernbench/2/turbo",
+            "spin/kernbench/2/fifo+fifo",
+            "spin/kernbench/2/",
             "phased/shift/18446744073709551615",
             "walk/ioint",
             "walk/conspin",

@@ -1,0 +1,163 @@
+//! Golden-file conformance for the figure harness.
+//!
+//! `tests/goldens/*.golden` pin the rendered table AND CSV bytes of
+//! every deterministic `repro` artifact in quick mode, captured from
+//! the pre-plan-layer (imperative `runner::Scenario`) harness. These
+//! tests prove the experiment-plan port emits byte-identical output,
+//! and that output is invariant across worker-thread counts and
+//! time-advance modes.
+//!
+//! The non-deterministic artifacts (`overhead`, `scalability`) report
+//! wall-clock measurements and are intentionally not pinned.
+//!
+//! The heavyweight artifacts are `#[ignore]`d so `cargo test -q`
+//! stays fast in debug builds; ci.sh runs the full set in release
+//! (`cargo test --release --test figure_goldens -- --include-ignored`).
+
+use aql_experiments::{ablations, fig2, fig4, fig5, fig6, fig7, fig8, tables, ExecOpts, Table};
+use aql_hv::TimeMode;
+
+/// Renders tables exactly as the golden generator did: rendered text,
+/// a `~csv~` separator, the CSV bytes, and a blank line per table.
+fn golden(tables: &[Table]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        out.push_str(&t.render());
+        out.push_str("~csv~\n");
+        out.push_str(&t.to_csv());
+        out.push('\n');
+    }
+    out
+}
+
+fn assert_matches_golden(name: &str, tables: &[Table]) {
+    let path = format!("{}/tests/goldens/{name}.golden", env!("CARGO_MANIFEST_DIR"));
+    let want =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path}: {e}"));
+    let got = golden(tables);
+    assert_eq!(
+        got, want,
+        "{name}: output diverged from the pre-refactor golden"
+    );
+}
+
+fn opts() -> ExecOpts {
+    ExecOpts::default()
+}
+
+#[test]
+fn golden_fig6left() {
+    assert_matches_golden("fig6left", &[fig6::run_left(true, &opts())]);
+}
+
+#[test]
+fn golden_fig7() {
+    assert_matches_golden("fig7", &[fig7::run(true, &opts())]);
+}
+
+#[test]
+fn golden_fig8() {
+    assert_matches_golden("fig8", &[fig8::run(true, &opts())]);
+}
+
+#[test]
+fn golden_table5() {
+    assert_matches_golden("table5", &[tables::table5(true, &opts())]);
+}
+
+#[test]
+fn golden_table6() {
+    assert_matches_golden("table6", &[tables::table6()]);
+}
+
+#[test]
+fn golden_fairness() {
+    assert_matches_golden("fairness", &[tables::fairness(true, &opts())]);
+}
+
+#[test]
+fn golden_ablation_vtrs_window() {
+    assert_matches_golden(
+        "ablation_vtrs_window",
+        &[ablations::vtrs_window(true, &opts())],
+    );
+}
+
+#[test]
+fn golden_ablation_boost() {
+    assert_matches_golden("ablation_boost", &[ablations::boost(true, &opts())]);
+}
+
+#[test]
+fn golden_ablation_lock_fabric() {
+    assert_matches_golden(
+        "ablation_lock_fabric",
+        &[ablations::lock_fabric(true, &opts())],
+    );
+}
+
+#[test]
+fn golden_ablation_ple_yield() {
+    assert_matches_golden("ablation_ple_yield", &[ablations::ple_yield(true, &opts())]);
+}
+
+#[test]
+#[ignore = "heavy in debug builds; ci.sh runs it in release"]
+fn golden_fig2() {
+    assert_matches_golden("fig2", &fig2::run_all(true, &opts()));
+}
+
+#[test]
+#[ignore = "heavy in debug builds; ci.sh runs it in release"]
+fn golden_fig4() {
+    assert_matches_golden("fig4", &fig4::run(true, &opts()));
+}
+
+#[test]
+#[ignore = "heavy in debug builds; ci.sh runs it in release"]
+fn golden_fig5() {
+    assert_matches_golden("fig5", &[fig5::run(&[], true, &opts())]);
+}
+
+#[test]
+#[ignore = "heavy in debug builds; ci.sh runs it in release"]
+fn golden_fig6right() {
+    let (norm, clusters) = fig6::run_right(true, &opts());
+    assert_matches_golden("fig6right", &[norm, clusters]);
+}
+
+#[test]
+#[ignore = "heavy in debug builds; ci.sh runs it in release"]
+fn golden_table3() {
+    assert_matches_golden("table3", &[tables::table3(true, &opts())]);
+}
+
+#[test]
+#[ignore = "heavy in debug builds; ci.sh runs it in release"]
+fn golden_ablation_substep() {
+    assert_matches_golden("ablation_substep", &[ablations::substep(true, &opts())]);
+}
+
+/// `repro`-level determinism: a figure plan folded from a 1-thread
+/// execution is byte-identical to the same plan on 4 workers, and to
+/// the dense time-advance oracle.
+#[test]
+fn figure_output_is_thread_and_mode_invariant() {
+    let serial = fig8::run(true, &ExecOpts::serial());
+    let parallel = fig8::run(
+        true,
+        &ExecOpts {
+            threads: 4,
+            ..ExecOpts::default()
+        },
+    );
+    let dense = fig8::run(
+        true,
+        &ExecOpts {
+            threads: 4,
+            time_mode: TimeMode::Dense,
+        },
+    );
+    assert_eq!(golden(std::slice::from_ref(&serial)), golden(&[parallel]));
+    assert_eq!(golden(&[serial]), golden(&[dense]));
+}
