@@ -30,13 +30,28 @@ cargo run --release -p aql_experiments --bin sweep -- \
 diff /tmp/ci_sweep_t1.txt /tmp/ci_sweep_tn.txt
 rm -f /tmp/ci_sweep_t1.txt /tmp/ci_sweep_tn.txt
 
-step "perf smoke: full catalog in both time modes (asserts byte-identical tables, tracks BENCH_sweep.json)"
-# `--time-mode both` fails the build if the dense oracle and the
-# adaptive time-advance disagree on a single table byte; the timing
+step "perf smoke: full catalog in all three time modes (asserts byte-identical tables, tracks BENCH_sweep.json)"
+# `--time-mode both` runs the dense oracle, the uncoalesced adaptive
+# path (bitwise vs dense) and the coalesced default (tolerance oracle;
+# rendered tables must still match byte for byte). The three-way wall
 # comparison lands in BENCH_sweep.json so the perf trajectory is
-# visible PR over PR.
+# visible PR over PR: `speedup` is dense/coalesced, `speedup_flat`
+# isolates the pre-coalescing fast path.
 cargo run --release -p aql_experiments --bin sweep -- \
     --time-mode both --bench-json BENCH_sweep.json > /dev/null
+
+step "perf gate: full-sweep coalesced speedup must stay >= 1.3x"
+# The chunk-coalescing PR landed at ~1.5x on this container; fail CI
+# if a regression drags the dense/coalesced ratio below 1.3x.
+python3 - <<'EOF'
+import json, sys
+d = json.load(open("BENCH_sweep.json"))
+speedup = d["speedup"]
+print(f"full-sweep speedup: dense/coalesced = {speedup:.3f}x "
+      f"(flat adaptive {d['speedup_flat']:.3f}x)")
+if speedup < 1.3:
+    sys.exit(f"perf regression: coalesced speedup {speedup:.3f}x < 1.3x")
+EOF
 
 step "figure goldens: full conformance set in release (incl. the heavy debug-ignored artifacts)"
 # Every deterministic `repro` artifact must stay byte-identical to the

@@ -1,11 +1,12 @@
 //! Dense vs adaptive time-advance on catalog scenarios.
 //!
 //! Tracks the event-horizon core's speedup per regime: the light-load
-//! entries (`solo-calibration`, `nightly-lull`) are the pure
-//! next-event regime (expect multiples), the saturated entries are
-//! bounded by workload execution, which bitwise conformance pins to
-//! the dense chunk sequence (expect ~1.1–1.3× under long quanta).
-//! Compare the `dense/…` and `adaptive/…` lines pairwise.
+//! entries (`solo-calibration`, `nightly-lull`) coalesce nearly every
+//! span into one chunk per slot (expect order-of-magnitude multiples),
+//! while the saturated entries are bounded by contended cache-model
+//! execution, which never reaches the coalescible fixpoint (expect
+//! ~1.1–2×). Compare the `dense/…` and `adaptive/…` lines pairwise;
+//! `benches/exec_step.rs` tracks the mem-layer half in isolation.
 
 use aql_scenarios::{catalog, policy_for, run_seeded_in, TimeMode};
 use criterion::{criterion_group, criterion_main, Criterion};

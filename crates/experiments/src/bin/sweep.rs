@@ -57,45 +57,58 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-/// Renders the dense-vs-adaptive timing comparison as a JSON document.
+/// Renders the three-way timing comparison (dense oracle, uncoalesced
+/// adaptive, coalesced adaptive) as a JSON document. The headline
+/// `speedup` is dense over *coalesced* — the default execution mode —
+/// with `speedup_flat` recording the grid-replaying fast path next to
+/// it so the coalescing contribution stays visible PR over PR.
 fn bench_json(
     names: &[String],
     cfg: &SweepConfig,
     dense: &SweepOutcome,
-    adaptive: &SweepOutcome,
+    flat: &SweepOutcome,
+    coalesced: &SweepOutcome,
 ) -> String {
     let dense_by_scenario = dense.wall_ns_by_scenario();
-    let adaptive_by_scenario = adaptive.wall_ns_by_scenario();
+    let flat_by_scenario = flat.wall_ns_by_scenario();
+    let coalesced_by_scenario = coalesced.wall_ns_by_scenario();
     let ms = |ns: u64| ns as f64 / 1e6;
+    let ratio = |d: u64, a: u64| if a > 0 { d as f64 / a as f64 } else { 0.0 };
     let mut per_scenario = String::new();
     for (i, name) in names.iter().enumerate() {
         let d = dense_by_scenario.get(i).copied().unwrap_or(0);
-        let a = adaptive_by_scenario.get(i).copied().unwrap_or(0);
+        let f = flat_by_scenario.get(i).copied().unwrap_or(0);
+        let c = coalesced_by_scenario.get(i).copied().unwrap_or(0);
         if i > 0 {
             per_scenario.push(',');
         }
         per_scenario.push_str(&format!(
             "\n    {{\"scenario\": \"{}\", \"dense_ms\": {:.3}, \"adaptive_ms\": {:.3}, \
-             \"speedup\": {:.3}}}",
+             \"coalesced_ms\": {:.3}, \"speedup\": {:.3}}}",
             json_escape(name),
             ms(d),
-            ms(a),
-            if a > 0 { d as f64 / a as f64 } else { 0.0 }
+            ms(f),
+            ms(c),
+            ratio(d, c)
         ));
     }
     let d = dense.total_wall_ns();
-    let a = adaptive.total_wall_ns();
+    let f = flat.total_wall_ns();
+    let c = coalesced.total_wall_ns();
     format!(
         "{{\n  \"scenarios\": {},\n  \"policies\": {},\n  \"seeds\": {},\n  \
          \"quick\": {},\n  \"dense_ms\": {:.3},\n  \"adaptive_ms\": {:.3},\n  \
-         \"speedup\": {:.3},\n  \"per_scenario\": [{}\n  ]\n}}\n",
+         \"coalesced_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"speedup_flat\": {:.3},\n  \
+         \"per_scenario\": [{}\n  ]\n}}\n",
         names.len(),
         cfg.policies.len(),
         cfg.seeds,
         cfg.quick,
         ms(d),
-        ms(a),
-        if a > 0 { d as f64 / a as f64 } else { 0.0 },
+        ms(f),
+        ms(c),
+        ratio(d, c),
+        ratio(d, f),
         per_scenario
     )
 }
@@ -200,16 +213,25 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     })
 }
 
-/// `--time-mode both`: sweep the matrix under each mode, assert the
-/// aggregate tables are byte-identical (the conformance gate), report
-/// the wall-clock comparison and optionally write it as JSON.
+/// `--time-mode both`: sweep the matrix under the dense oracle, the
+/// uncoalesced adaptive path and the coalesced default; assert every
+/// aggregate table is byte-identical (the rendered-precision
+/// conformance gate — the uncoalesced path is bitwise, the coalesced
+/// one within the tolerance rounding absorbs), report the wall-clock
+/// comparison and optionally write it as JSON.
 fn run_mode_comparison(cli: &Cli) -> Result<(), String> {
     let dense_cfg = SweepConfig {
         time_mode: TimeMode::Dense,
         ..cli.cfg.clone()
     };
-    let adaptive_cfg = SweepConfig {
+    let flat_cfg = SweepConfig {
         time_mode: TimeMode::Adaptive,
+        coalesce: false,
+        ..cli.cfg.clone()
+    };
+    let coalesced_cfg = SweepConfig {
+        time_mode: TimeMode::Adaptive,
+        coalesce: true,
         ..cli.cfg.clone()
     };
     println!(
@@ -218,25 +240,36 @@ fn run_mode_comparison(cli: &Cli) -> Result<(), String> {
     );
     let dense = run_sweep(&cli.names, &dense_cfg)?;
     println!(
-        "sweeping {} scenarios under TimeMode::Adaptive ...",
+        "sweeping {} scenarios under TimeMode::Adaptive (coalescing off) ...",
         cli.names.len()
     );
-    let adaptive = run_sweep(&cli.names, &adaptive_cfg)?;
-    if dense.table.render() != adaptive.table.render() {
+    let flat = run_sweep(&cli.names, &flat_cfg)?;
+    println!(
+        "sweeping {} scenarios under TimeMode::Adaptive (coalescing on) ...",
+        cli.names.len()
+    );
+    let coalesced = run_sweep(&cli.names, &coalesced_cfg)?;
+    if dense.table.render() != flat.table.render() {
         return Err(
-            "conformance violation: dense and adaptive aggregate tables differ".to_string(),
+            "conformance violation: dense and uncoalesced-adaptive tables differ".to_string(),
         );
     }
-    adaptive.table.print();
+    if dense.table.render() != coalesced.table.render() {
+        return Err("conformance violation: coalescing drifted a rendered table byte".to_string());
+    }
+    coalesced.table.print();
     let d_ms = dense.total_wall_ns() as f64 / 1e6;
-    let a_ms = adaptive.total_wall_ns() as f64 / 1e6;
+    let f_ms = flat.total_wall_ns() as f64 / 1e6;
+    let c_ms = coalesced.total_wall_ns() as f64 / 1e6;
+    let x = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
     println!(
         "\ntables byte-identical across time modes; simulation wall time \
-         dense {d_ms:.0} ms, adaptive {a_ms:.0} ms ({:.2}x)",
-        if a_ms > 0.0 { d_ms / a_ms } else { 0.0 }
+         dense {d_ms:.0} ms, adaptive {f_ms:.0} ms ({:.2}x), coalesced {c_ms:.0} ms ({:.2}x)",
+        x(d_ms, f_ms),
+        x(d_ms, c_ms)
     );
     if let Some(path) = &cli.bench_json {
-        let doc = bench_json(&cli.names, &cli.cfg, &dense, &adaptive);
+        let doc = bench_json(&cli.names, &cli.cfg, &dense, &flat, &coalesced);
         std::fs::write(path, doc).map_err(|e| format!("could not write {path}: {e}"))?;
         println!("(saved {path})");
     }

@@ -32,7 +32,7 @@ use std::sync::Mutex;
 use aql_core::AqlSched;
 use aql_hv::apptype::VcpuType;
 use aql_hv::{RunReport, Simulation, TimeMode};
-use aql_scenarios::{build_sim_seeded_in, parse_policy, ScenarioSpec};
+use aql_scenarios::{build_sim_seeded_tuned, parse_policy, ScenarioSpec};
 
 /// Policy-internal state to extract from a cell's simulation before
 /// it is dropped (see the module docs).
@@ -128,12 +128,26 @@ impl PlanCell {
 /// How to execute a plan. The choice never affects emitted tables —
 /// only wall time. The default is every core in the default
 /// ([`TimeMode::Adaptive`]) time mode.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecOpts {
     /// Worker threads; `0` uses the host's available parallelism.
     pub threads: usize,
     /// Time-advance mode every cell runs under.
     pub time_mode: TimeMode,
+    /// Whether the adaptive mode may coalesce quiescent-span chunks
+    /// (default on). Off pins the grid-replaying fast path that is
+    /// bit-identical to `Dense` — the CI bench's perf baseline.
+    pub coalesce: bool,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        ExecOpts {
+            threads: 0,
+            time_mode: TimeMode::default(),
+            coalesce: true,
+        }
+    }
 }
 
 impl ExecOpts {
@@ -255,8 +269,13 @@ pub fn execute(cells: &[PlanCell], opts: &ExecOpts) -> Result<Vec<CellResult>, S
                 }
                 let boxed = policy.build(&cell.spec);
                 let t0 = std::time::Instant::now();
-                let mut sim =
-                    build_sim_seeded_in(&cell.spec, boxed, cell.base_seed, opts.time_mode);
+                let mut sim = build_sim_seeded_tuned(
+                    &cell.spec,
+                    boxed,
+                    cell.base_seed,
+                    opts.time_mode,
+                    opts.coalesce,
+                );
                 let report = sim.run_measured(cell.spec.warmup_ns, cell.spec.measure_ns);
                 let wall_ns = t0.elapsed().as_nanos() as u64;
                 let probe = extract_probe(&sim, &cell.probe);

@@ -49,6 +49,11 @@ pub struct SweepConfig {
     /// byte-identical across modes; only the recorded wall times
     /// differ. Defaults to [`TimeMode::Adaptive`].
     pub time_mode: TimeMode,
+    /// Whether the adaptive mode may coalesce quiescent-span chunks
+    /// (default on; see `aql_hv::engine::horizon`). The rendered table
+    /// stays byte-identical either way — coalescing drift vanishes at
+    /// rendering precision.
+    pub coalesce: bool,
 }
 
 impl Default for SweepConfig {
@@ -62,6 +67,7 @@ impl Default for SweepConfig {
             threads: 0,
             quick: false,
             time_mode: TimeMode::default(),
+            coalesce: true,
         }
     }
 }
@@ -178,6 +184,7 @@ pub fn run_sweep_on(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Result<SweepOu
     let opts = ExecOpts {
         threads: cfg.threads,
         time_mode: cfg.time_mode,
+        coalesce: cfg.coalesce,
     };
     let results: Vec<SweepResult> = jobs
         .into_iter()

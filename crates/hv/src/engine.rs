@@ -24,9 +24,14 @@
 //! computes an *event horizon* (the earliest instant anything
 //! scheduler-visible can happen: next event, slice expiry, kick
 //! deadline or workload [`Horizon`](crate::workload::Horizon)) and
-//! fast-forwards whole sub-steps up to it on a lean path that performs
-//! the exact same workload execution. The two modes produce
-//! byte-identical [`RunReport`]s by construction; see `horizon` module
+//! fast-forwards whole sub-steps up to it on a lean path, **coalescing
+//! the span into one execution chunk per slot** whenever every running
+//! slot is provably linear (see
+//! [`CoalesceHint`](crate::workload::CoalesceHint)). The adaptive mode
+//! reproduces the dense oracle under a quantified tolerance: all `u64`
+//! accounting, events and dispatch decisions are bit-exact, and f64
+//! metrics drift by at most 1e-6 relative (coalesced summation order
+//! plus snapped sub-epsilon cache traffic); see the `horizon` module
 //! docs for the argument.
 //!
 //! The engine is layered into focused modules behind this facade:
@@ -75,9 +80,12 @@ pub enum TimeMode {
     /// deadline, every running workload's
     /// [`Horizon`](crate::workload::Horizon) beyond it — and
     /// fast-forwards the span's sub-steps on a lean path that skips
-    /// the event queue, the rescheduler and idle pCPUs entirely.
-    /// Produces byte-identical results to [`TimeMode::Dense`]: running
-    /// workloads see the exact same sequence of execution chunks.
+    /// the event queue, the rescheduler and idle pCPUs entirely,
+    /// executing the whole span as one coalesced chunk per slot when
+    /// every running slot is linear. Reproduces [`TimeMode::Dense`]
+    /// within the tolerance oracle: bit-exact integer accounting and
+    /// events, ≤1e-6 relative drift on f64 metrics (none at all with
+    /// coalescing disabled via `SimulationBuilder::coalesce(false)`).
     #[default]
     Adaptive,
 }
@@ -86,6 +94,8 @@ use aql_sim::queue::EventQueue;
 use aql_sim::rng::SimRng;
 use aql_sim::time::SimTime;
 use aql_sim::trace::TraceLog;
+
+use aql_mem::RateCache;
 
 use crate::policy::SchedPolicy;
 use crate::report::{RunReport, VmReport};
@@ -118,6 +128,12 @@ struct Scratch {
     /// moves. Purely an efficiency memo — which advance mode runs is
     /// invisible in the results.
     failed_plan_gen: Option<u64>,
+    /// Per-pool "any stealable queued work" flags for the adaptive
+    /// generic sub-step (see `Simulation::advance_all_adaptive`).
+    pool_stealable: Vec<bool>,
+    /// `sched_gen` the flags were computed at; they stay exact until
+    /// the generation moves (every enqueue/dispatch bumps it).
+    pool_stealable_gen: Option<u64>,
 }
 
 /// A complete simulation run: hypervisor + workloads + policy + clock.
@@ -132,6 +148,14 @@ pub struct Simulation {
     rng: SimRng,
     substep_ns: u64,
     time_mode: TimeMode,
+    /// Whether the adaptive mode may coalesce a proven-quiescent span
+    /// into one execution chunk per slot when every running slot
+    /// declares itself linear (see `engine::horizon`). Off, the
+    /// adaptive mode replays the dense sub-step grid bit-for-bit.
+    coalesce: bool,
+    /// Steady-rate memo for the lean execution path and the coalesce
+    /// probes (see [`aql_mem::RateCache`]).
+    rate_cache: RateCache,
     /// Scheduling-state generation: bumped on every event, dispatch,
     /// preemption, block and yield. The adaptive planner memoizes a
     /// failed quiescent-span plan against this counter — no plan can
@@ -159,6 +183,13 @@ impl Simulation {
     /// The time-advance mode this simulation runs with.
     pub fn time_mode(&self) -> TimeMode {
         self.time_mode
+    }
+
+    /// `(hits, recomputes)` of the steady-rate cache — recomputes count
+    /// every invalidation-by-key-mismatch (contention insertions,
+    /// migration warmth resets, phase shifts).
+    pub fn rate_cache_stats(&self) -> (u64, u64) {
+        self.rate_cache.stats()
     }
 
     /// Runs until `end` (absolute simulated time). A no-op when `end`

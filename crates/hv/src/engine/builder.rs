@@ -21,6 +21,7 @@ pub struct SimulationBuilder {
     seed: u64,
     substep_ns: u64,
     time_mode: TimeMode,
+    coalesce: bool,
     trace_capacity: usize,
     vms: Vec<(VmSpec, Box<dyn GuestWorkload>)>,
     policy: Option<Box<dyn SchedPolicy>>,
@@ -34,6 +35,7 @@ impl SimulationBuilder {
             seed: 1,
             substep_ns: DEFAULT_SUBSTEP_NS,
             time_mode: TimeMode::default(),
+            coalesce: true,
             trace_capacity: 0,
             vms: Vec::new(),
             policy: None,
@@ -60,6 +62,15 @@ impl SimulationBuilder {
     /// conformance oracle; both modes produce byte-identical results.
     pub fn time_mode(mut self, mode: TimeMode) -> Self {
         self.time_mode = mode;
+        self
+    }
+
+    /// Enables or disables chunk coalescing inside the adaptive
+    /// time-advance (default on). Off, `TimeMode::Adaptive` replays
+    /// the dense sub-step grid bit-for-bit — the PR-3 behaviour, kept
+    /// for conformance bisection and the CI perf baseline.
+    pub fn coalesce(mut self, on: bool) -> Self {
+        self.coalesce = on;
         self
     }
 
@@ -128,6 +139,7 @@ impl SimulationBuilder {
         // Fresh VMs start with a full accounting period of credits so
         // the first 30 ms are not artificially BOOST-starved.
         refill_credits(&mut hv.vcpus, &hv.vms, &hv.pools);
+        let vcpu_count = hv.vcpus.len();
         let mut sim = Simulation {
             hv,
             workloads,
@@ -138,6 +150,8 @@ impl SimulationBuilder {
             rng: SimRng::seed_from(self.seed),
             substep_ns: self.substep_ns,
             time_mode: self.time_mode,
+            coalesce: self.coalesce,
+            rate_cache: aql_mem::RateCache::new(vcpu_count),
             sched_gen: 0,
             trace,
             tick_count: 0,

@@ -99,7 +99,7 @@ impl Simulation {
             let socket = self.hv.machine.socket_of(PcpuId(pcpu)).index();
             (v.vm.index(), v.slot, socket)
         };
-        let out = self.run_chunk(vid, vm, slot, socket, budget, t0);
+        let out = self.run_chunk(vid, vm, slot, socket, budget, t0, false);
         let v = &mut self.hv.vcpus[vid.index()];
         v.cpu_ns += out.used_ns;
         v.unbilled_ns += out.used_ns;
@@ -113,6 +113,15 @@ impl Simulation {
     /// usage. CPU-time accounting is left to the caller (the dense
     /// path accounts per chunk, the fast path per span — u64 sums, so
     /// the split cannot change any result).
+    ///
+    /// `coalesced` marks a whole-span chunk issued under the
+    /// [`CoalesceHint`](crate::workload::CoalesceHint) contract: only
+    /// those route `exec_mem` through the steady-rate cache (the probe
+    /// just verified and memoized the rate, so every lookup hits).
+    /// Grid-sized chunks keep the plain lean integrator — under
+    /// contention the memo key churns every chunk, so probing it there
+    /// would be pure overhead.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn run_chunk(
         &mut self,
         vid: VcpuId,
@@ -121,6 +130,7 @@ impl Simulation {
         socket: usize,
         budget: u64,
         t0: SimTime,
+        coalesced: bool,
     ) -> crate::workload::RunOutcome {
         let super::Hypervisor {
             vcpus,
@@ -129,6 +139,7 @@ impl Simulation {
             ..
         } = &mut self.hv;
         let v = &mut vcpus[vid.index()];
+        let lean = self.time_mode == super::TimeMode::Adaptive;
         let mut ctx = ExecContext {
             now: t0,
             spec: &machine.cache,
@@ -138,7 +149,8 @@ impl Simulation {
             rng: &mut self.rng,
             owner: vid.index(),
             running_slots: &self.vm_running[vm],
-            lean: self.time_mode == super::TimeMode::Adaptive,
+            lean,
+            rate_cache: (lean && coalesced).then_some(&mut self.rate_cache),
         };
         let mut out = self.workloads[vm].run(slot, budget, &mut ctx);
         debug_assert!(

@@ -27,33 +27,51 @@
 //! instant. Idle pCPUs cannot acquire work inside the span — nothing
 //! enqueues — so skipping them is exact.
 //!
-//! # Why the results are byte-identical to the dense oracle
+//! # The conformance contract against the dense oracle
 //!
-//! The fast-forward loop advances the *same sub-step grid* the dense
-//! loop would walk and hands every running workload the *same sequence
-//! of execution chunks* (`run` calls with the same budgets at the same
-//! instants, in the same pCPU order). Floating-point state therefore
-//! follows the exact same trajectory — the fast path never coalesces
-//! chunks, it only skips scheduler work that provably touches nothing.
-//! CPU-time accounting is batched per span, but those accumulators are
-//! `u64`s: integer addition is associative, so batching cannot change
-//! a single bit. The lean cache plumbing it routes through
-//! ([`aql_mem::exec_step_lean`]) is bit-identical to the dense one by
-//! construction and by property test.
+//! On the *grid path* the fast-forward loop advances the same sub-step
+//! grid the dense loop would walk and hands every running workload the
+//! same sequence of execution chunks (`run` calls with the same
+//! budgets at the same instants, in the same pCPU order), so
+//! floating-point state follows the exact same trajectory. CPU-time
+//! accounting is batched per span, but those accumulators are `u64`s:
+//! integer addition is associative, so batching cannot change a single
+//! bit. The lean cache plumbing ([`aql_mem::exec_step_lean`]) is
+//! bit-identical to the dense one by construction and by property
+//! test.
+//!
+//! **Chunk coalescing** deliberately relaxes bitwise equality to a
+//! quantified tolerance. When every running slot signs the linear
+//! contract ([`CoalesceHint`]) — pure-rate execution at the snapped
+//! memory fixpoint ([`aql_mem::steady_rate`]), no scheduler-visible
+//! act, no shared-state mutation, no shared-RNG draw — the engine
+//! issues one `run` call per slot for the remaining span instead of
+//! one per grid point. Everything discrete stays exact: `u64` CPU
+//! accounting, event and timer delivery, dispatch order, PLE counts,
+//! latency stamps. What moves are the low-order bits of f64
+//! *accumulators* (workload metric sums, PMU counters, saturating
+//! freshness touches): one whole-span sum instead of per-grid-point
+//! sums, plus the snapped sub-epsilon cache traffic the fixpoint
+//! omits. The conformance suite (`tests/coalesce_conformance.rs`)
+//! bounds the drift at 1e-6 relative per VM metric against the dense
+//! oracle, and the committed rendered goldens must stay byte-identical
+//! — the rounding in every rendered artifact absorbs the drift.
 //!
 //! A workload that breaks its horizon promise (returns early, blocks,
 //! yields) is detected on the spot: the engine finishes that sub-step
 //! through the dense [`Simulation::advance_pcpu_from`] continuation —
 //! the exact code the dense loop would have run — and abandons the
 //! span, so even a lying horizon cannot cause divergence, only lost
-//! speed.
+//! speed. A broken *coalesce* contract (impossible for the in-tree
+//! workloads, asserted in debug builds) is likewise completed through
+//! the dense continuation at span scale.
 
 use aql_sim::time::{whole_steps, SimTime};
 
 use super::{Simulation, TimeMode};
 use crate::ids::PcpuId;
 use crate::vm::VcpuState;
-use crate::workload::{Horizon, StopReason};
+use crate::workload::{CoalesceHint, CoalesceProbe, Horizon, StopReason};
 
 /// Smallest quiescent span (in sub-steps) worth fast-forwarding.
 /// Below this, planning a span (slot hoisting, accounting flush) costs
@@ -130,11 +148,13 @@ impl Simulation {
                 }
                 self.scratch.failed_plan_gen = Some(self.sched_gen);
             }
-            // 4. Not quiescent for long enough: one generic dense
-            // sub-step (identical to the dense loop).
+            // 4. Not quiescent for long enough: one generic sub-step.
+            // `advance_all_adaptive` advances the same state the dense
+            // `advance_all` would — it only skips idle pCPUs whose
+            // dispatch attempt provably fails.
             let span = t_next - self.now;
             let dt = span.min(self.substep_ns);
-            self.advance_all(dt);
+            self.advance_all_adaptive(dt);
             self.now += dt;
         }
         self.now = end;
@@ -217,7 +237,78 @@ impl Simulation {
         }
         let mut steps = whole_steps(self.now, span_end, dt);
         debug_assert!(steps > 0, "caller checked the span fits a sub-step");
+        // Chunk-coalescing probe cadence. A failed probe (some slot not
+        // linear yet — typically rewarming its private L2 after a
+        // dispatch) is retried with exponential backoff instead of
+        // never: warm-up completes *inside* long spans, and the probe
+        // then coalesces the warm tail. The backoff saturates at 64
+        // steps, so a span that never turns linear pays O(log steps)
+        // probes up front and then at most one per 64 grid steps
+        // (~1.5 % overhead) — the cap bounds how much of a late warm
+        // tail can be missed, which matters more than shaving the last
+        // probes off hopeless spans.
+        let mut probe_in: u64 = 0;
+        let mut probe_backoff: u64 = 1;
         'span: while steps > 0 {
+            // Chunk coalescing: when every running slot signs the
+            // linear contract (pure-rate execution at the memory
+            // fixpoint, no scheduler-visible act, no shared state), the
+            // dense chunk grid is redundant — one `run_chunk` per slot
+            // covers the rest of the span. Results differ from the
+            // dense sequence only in the f64 summation order of
+            // accumulated metrics; every u64 account and every event is
+            // exact (the tolerance conformance suite and the rendered
+            // goldens pin this).
+            if self.coalesce && steps >= 2 && probe_in == 0 {
+                if let Some(k) = self.coalescible_steps(&slots, steps, dt) {
+                    let budget = k * dt;
+                    for i in 0..slots.len() {
+                        let s = slots[i];
+                        let out =
+                            self.run_chunk(s.vid, s.vm, s.slot, s.socket, budget, self.now, true);
+                        if out.used_ns == budget && out.stop == StopReason::BudgetExhausted {
+                            slots[i].acc_ns += budget;
+                            continue;
+                        }
+                        // A linear hint lied. This cannot happen for the
+                        // in-tree workloads (debug builds assert);
+                        // recover by finishing the span window densely
+                        // from the deviation, exactly like a broken
+                        // horizon promise.
+                        debug_assert!(
+                            false,
+                            "coalesce contract broken by vm {} slot {}",
+                            s.vm, s.slot
+                        );
+                        slots[i].acc_ns += out.used_ns;
+                        self.flush_fast_accounting(&mut slots);
+                        match out.stop {
+                            StopReason::BudgetExhausted => {}
+                            StopReason::Blocked => self.block(s.pcpu, s.vid),
+                            StopReason::Yielded => self.yield_requeue(s.pcpu, s.vid),
+                        }
+                        let spins = u32::from(out.used_ns == 0);
+                        self.advance_pcpu_from(s.pcpu, out.used_ns, budget, spins);
+                        for pj in (s.pcpu + 1)..self.hv.pcpus.len() {
+                            self.advance_pcpu_from(pj, 0, budget, 0);
+                        }
+                        self.now += budget;
+                        slots.clear();
+                        break 'span;
+                    }
+                    self.now += budget;
+                    steps -= k;
+                    // A slot's linear window may have capped `k` (phase
+                    // boundary): the tail re-probes immediately and
+                    // otherwise resumes on the per-step grid.
+                    continue 'span;
+                    // (A broken contract above breaks out of 'span via
+                    // the shared epilogue, like the grid-path recovery.)
+                }
+                probe_in = probe_backoff;
+                probe_backoff = (probe_backoff * 2).min(64);
+            }
+            probe_in = probe_in.saturating_sub(1);
             for i in 0..slots.len() {
                 let s = slots[i];
                 // The span proof guarantees the slice outlives this
@@ -228,7 +319,7 @@ impl Simulation {
                         .saturating_since(self.now)
                         >= dt
                 );
-                let out = self.run_chunk(s.vid, s.vm, s.slot, s.socket, dt, self.now);
+                let out = self.run_chunk(s.vid, s.vm, s.slot, s.socket, dt, self.now, false);
                 if out.used_ns == dt && out.stop == StopReason::BudgetExhausted {
                     slots[i].acc_ns += dt;
                     continue;
@@ -259,6 +350,87 @@ impl Simulation {
         }
         self.flush_fast_accounting(&mut slots);
         self.scratch.fast_slots = slots;
+    }
+
+    /// The adaptive twin of [`Simulation::advance_all`]: advances every
+    /// pCPU whose sub-step can matter and skips idle pCPUs whose
+    /// dispatch attempt provably fails — an empty local queue and no
+    /// stealable work anywhere in their pool. The skip is exact: a
+    /// failed `try_dispatch` performs no state change, and the
+    /// precomputed pool flags are trusted only while `sched_gen` stands
+    /// still (any block/yield/preempt/dispatch inside this sub-step
+    /// bumps it, and the remaining pCPUs then take the full path).
+    /// The dense loop keeps the exhaustive scan — it is the oracle.
+    fn advance_all_adaptive(&mut self, dt: u64) {
+        let gen0 = self.sched_gen;
+        let mut flags = std::mem::take(&mut self.scratch.pool_stealable);
+        // The flags are a pure function of queue contents, which only
+        // change when `sched_gen` moves — consecutive quiet sub-steps
+        // reuse them.
+        if self.scratch.pool_stealable_gen != Some(gen0) {
+            flags.clear();
+            flags.resize(self.hv.pools.len(), false);
+            let crate::engine::Hypervisor {
+                vcpus,
+                pcpus,
+                pinned_vcpus,
+                ..
+            } = &self.hv;
+            let has_pins = *pinned_vcpus > 0;
+            for p in pcpus {
+                let n = if has_pins {
+                    p.queue
+                        .stealable_len_where(|v| vcpus[v.index()].pinned.is_none())
+                } else {
+                    p.queue.stealable_len()
+                };
+                if n > 0 {
+                    flags[p.pool.index()] = true;
+                }
+            }
+            self.scratch.pool_stealable_gen = Some(gen0);
+        }
+        for pi in 0..self.hv.pcpus.len() {
+            let p = &self.hv.pcpus[pi];
+            if self.sched_gen == gen0
+                && p.running.is_none()
+                && p.queue.is_empty()
+                && !flags[p.pool.index()]
+            {
+                continue;
+            }
+            self.advance_pcpu_from(pi, 0, dt, 0);
+        }
+        self.scratch.pool_stealable = flags;
+    }
+
+    /// How many of the span's `steps` grid steps may be coalesced into
+    /// a single execution chunk per slot: `None` unless **every**
+    /// running slot signs the linear contract ([`CoalesceHint`]) for at
+    /// least two whole steps, else the largest whole-step count every
+    /// slot's linear window covers.
+    fn coalescible_steps(&mut self, slots: &[FastSlot], steps: u64, dt: u64) -> Option<u64> {
+        let mut k = steps;
+        for s in slots {
+            let mut probe = CoalesceProbe {
+                spec: &self.hv.machine.cache,
+                llc: &self.hv.llcs[s.socket],
+                l2_warmth: self.hv.vcpus[s.vid.index()].l2_warmth,
+                owner: s.vid.index(),
+                running_slots: &self.vm_running[s.vm],
+                rate_cache: &mut self.rate_cache,
+            };
+            match self.workloads[s.vm].coalesce(s.slot, &mut probe) {
+                CoalesceHint::No => return None,
+                CoalesceHint::LinearFor(cpu_ns) => {
+                    k = k.min(cpu_ns / dt);
+                    if k < 2 {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(k)
     }
 
     /// Credits each slot's span-accumulated CPU time to the vCPU and

@@ -12,7 +12,8 @@
 //! PMU counters — the same counters the paper's vTRS samples.
 
 use aql_mem::{
-    exec_step, exec_step_lean, CacheSpec, ExecOutcome, LlcState, MemProfile, PmuCounters,
+    exec_step, exec_step_cached, exec_step_lean, CacheSpec, ExecOutcome, LlcState, MemProfile,
+    PmuCounters, RateCache,
 };
 use aql_sim::rng::SimRng;
 use aql_sim::time::SimTime;
@@ -44,6 +45,80 @@ pub enum Horizon {
     /// The slot never blocks or yields of its own accord (pure CPU
     /// burners, spin workloads without directed yield).
     Never,
+}
+
+/// A running slot's answer to "may the engine hand you one coalesced
+/// execution chunk covering a whole quiescent span?".
+///
+/// The adaptive time-advance normally replays the dense sub-step grid
+/// — one `run` call per grid point — so results stay bit-identical to
+/// the dense oracle. When **every** running slot declares itself
+/// linear, the engine instead issues a *single* `run` call per slot
+/// for the whole proven-quiescent span. The contract a linear slot
+/// signs (for the next `cpu_ns` nanoseconds of its own CPU time):
+///
+/// * every `run` call consumes its entire budget and returns
+///   [`StopReason::BudgetExhausted`] (no block, no yield);
+/// * execution is **pure-rate**: the slot's memory profile is at the
+///   zero-traffic fixpoint ([`CoalesceProbe::linear_rate`]), so it
+///   mutates no shared LLC state, and the slot draws nothing from the
+///   shared [`ExecContext::rng`] and advances no state read by another
+///   *running* slot;
+/// * behaviour is therefore chunk-size invariant: one call over the
+///   span differs from the dense chunk sequence only in the f64
+///   summation order of accumulated metrics (the tolerance oracle's
+///   1e-6 budget), never in any `u64` accounting or event.
+///
+/// Integer state machines driven by consumed CPU time (phase budgets,
+/// work segments, PLE windows) are fine: they advance identically for
+/// any chunking of the same budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceHint {
+    /// Chunk-size sensitive (the default): the engine keeps the dense
+    /// grid for the span.
+    No,
+    /// Pure-rate for at least this much more CPU time (use `u64::MAX`
+    /// for "until further notice"); the engine may coalesce any span
+    /// not exceeding it. A phase boundary inside the window would
+    /// change the rate, so phased workloads bound the window by the
+    /// CPU time left in the current phase.
+    LinearFor(u64),
+}
+
+/// Read-only state probe handed to [`GuestWorkload::coalesce`], giving
+/// the workload what it needs to check the fixpoint conditions for its
+/// current memory profile without touching engine state.
+pub struct CoalesceProbe<'a> {
+    /// Cache geometry of the machine.
+    pub spec: &'a CacheSpec,
+    /// The LLC of the socket the running slot sits on.
+    pub llc: &'a LlcState,
+    /// The slot's current private-L2 warmth.
+    pub l2_warmth: f64,
+    /// LLC owner index (global vCPU index).
+    pub owner: usize,
+    /// Which of this VM's slots are currently on a pCPU. A slot whose
+    /// siblings are also running usually cannot be linear: coalescing
+    /// would reorder cross-slot interactions (locks, barriers, shared
+    /// RNG draws) by whole spans.
+    pub running_slots: &'a [bool],
+    /// The engine's steady-rate cache (see [`RateCache`]).
+    pub rate_cache: &'a mut RateCache,
+}
+
+impl CoalesceProbe<'_> {
+    /// Whether `profile` is at the zero-traffic fixpoint for this slot
+    /// right now (memoized in the engine's [`RateCache`]).
+    pub fn linear_rate(&mut self, profile: &MemProfile) -> bool {
+        self.rate_cache
+            .linear_rate(profile, self.spec, self.llc, self.owner, self.l2_warmth)
+            .is_some()
+    }
+
+    /// How many of this VM's slots are currently running.
+    pub fn running_sibling_count(&self) -> usize {
+        self.running_slots.iter().filter(|r| **r).count()
+    }
 }
 
 /// Why a workload stopped before using its whole budget.
@@ -116,21 +191,46 @@ pub struct ExecContext<'a> {
     /// are bit-identical; the adaptive time-advance sets this, the
     /// dense conformance oracle leaves it off.
     pub lean: bool,
+    /// Steady-rate cache consulted by the lean path; at the
+    /// zero-traffic fixpoint a whole budget is answered in O(1) with
+    /// the integrator's exact bits ([`aql_mem::exec_step_cached`]).
+    /// `None` keeps the plain lean integrator.
+    pub rate_cache: Option<&'a mut RateCache>,
 }
 
 impl ExecContext<'_> {
     /// Executes `dt_ns` of CPU under `profile`, updating the LLC, the
     /// L2 warmth and the PMU. Returns the retirement outcome.
     pub fn exec_mem(&mut self, profile: &MemProfile, dt_ns: u64) -> ExecOutcome {
-        let step = if self.lean { exec_step_lean } else { exec_step };
-        let out = step(
-            profile,
-            self.spec,
-            self.llc,
-            self.owner,
-            self.l2_warmth,
-            dt_ns,
-        );
+        let out = if !self.lean {
+            exec_step(
+                profile,
+                self.spec,
+                self.llc,
+                self.owner,
+                self.l2_warmth,
+                dt_ns,
+            )
+        } else if let Some(cache) = self.rate_cache.as_deref_mut() {
+            exec_step_cached(
+                profile,
+                self.spec,
+                self.llc,
+                self.owner,
+                self.l2_warmth,
+                dt_ns,
+                cache,
+            )
+        } else {
+            exec_step_lean(
+                profile,
+                self.spec,
+                self.llc,
+                self.owner,
+                self.l2_warmth,
+                dt_ns,
+            )
+        };
         self.pmu.add_exec(&out);
         out
     }
@@ -238,6 +338,15 @@ pub trait GuestWorkload {
     /// advances the slot on the dense sub-step path.
     fn horizon(&self, _slot: usize, _now: SimTime) -> Horizon {
         Horizon::Unknown
+    }
+
+    /// Whether the *running* slot's execution may be coalesced into a
+    /// single chunk across a proven-quiescent span, and for how much
+    /// CPU time (see [`CoalesceHint`] for the exact contract). The
+    /// default is [`CoalesceHint::No`], which is always sound: the
+    /// engine then replays the dense sub-step grid for the span.
+    fn coalesce(&self, _slot: usize, _probe: &mut CoalesceProbe<'_>) -> CoalesceHint {
+        CoalesceHint::No
     }
 
     /// The next instant at which the slot needs a timer delivery

@@ -43,7 +43,22 @@ impl ExecOutcome {
 
 /// Maximum fraction of the working set fetched per internal sub-step;
 /// bounds the discretization error of the frozen-rate integration.
-const MAX_FILL_FRACTION: f64 = 0.125;
+/// Shared with the cached integrator (`crate::rate`), whose loop must
+/// stay operation-for-operation identical to [`exec_step_lean`].
+pub(crate) const MAX_FILL_FRACTION: f64 = 0.125;
+
+/// Hard bound on internal sub-steps per `exec_step` call.
+///
+/// The fill-fraction caps can pin the internal chunk near the 1 ns
+/// floor for degenerate profiles (tiny working sets with heavy deep
+/// traffic), making the loop count proportional to the budget — up to
+/// `dt_ns` iterations. The old code only `debug_assert`ed a bound, so
+/// a release build would grind through the pathology at 1 ns per
+/// iteration. Both integrators now take one *saturating* final step
+/// (the whole remainder at the current frozen rates) once this many
+/// sub-steps have run; the discretization guarantee is forfeited for
+/// that tail, boundedness is not.
+pub const MAX_SUBSTEPS: u32 = 100_000;
 
 /// Advances a workload phase by `dt_ns` nanoseconds of CPU time.
 ///
@@ -66,10 +81,9 @@ pub fn exec_step(
     let wss = profile.wss_bytes as f64;
     let mut remaining = dt_ns as f64;
     // Internal sub-steps keep rate-freezing honest while footprints move.
-    let mut guard = 0;
+    let mut guard: u32 = 0;
     while remaining > 0.0 {
         guard += 1;
-        debug_assert!(guard < 10_000, "exec_step failed to converge");
         let h2_cap = profile.l2_hit_warm(spec);
         let h2 = h2_cap * l2_warmth.clamp(0.0, 1.0);
         let deep = profile.deep_refs_per_instr;
@@ -87,18 +101,23 @@ pub fn exec_step(
                     + (1.0 - h2) * (h3 * spec.llc_hit_ns + (1.0 - h3) * spec.mem_ns));
 
         // Cap the chunk so neither footprint moves more than
-        // MAX_FILL_FRACTION of its target within frozen rates.
+        // MAX_FILL_FRACTION of its target within frozen rates. Once the
+        // iteration budget is exhausted the final step saturates: the
+        // whole remainder runs at the current frozen rates.
         let mut chunk = remaining;
-        if llc_miss_per_instr > 1e-12 && wss > 0.0 {
-            let instr_cap = (wss * MAX_FILL_FRACTION / spec.line_bytes as f64) / llc_miss_per_instr;
-            chunk = chunk.min(instr_cap * ns_per_instr);
-        }
         let l2_fill_per_instr = deep * (1.0 - h2);
         let l2_target = (wss.min(spec.l2_bytes as f64)).max(1.0);
-        if l2_fill_per_instr > 1e-12 && *l2_warmth < 1.0 {
-            let instr_cap =
-                (l2_target * MAX_FILL_FRACTION / spec.line_bytes as f64) / l2_fill_per_instr;
-            chunk = chunk.min(instr_cap * ns_per_instr);
+        if guard < MAX_SUBSTEPS {
+            if llc_miss_per_instr > 1e-12 && wss > 0.0 {
+                let instr_cap =
+                    (wss * MAX_FILL_FRACTION / spec.line_bytes as f64) / llc_miss_per_instr;
+                chunk = chunk.min(instr_cap * ns_per_instr);
+            }
+            if l2_fill_per_instr > 1e-12 && *l2_warmth < 1.0 {
+                let instr_cap =
+                    (l2_target * MAX_FILL_FRACTION / spec.line_bytes as f64) / l2_fill_per_instr;
+                chunk = chunk.min(instr_cap * ns_per_instr);
+            }
         }
         chunk = chunk.max(remaining.min(1.0)).min(remaining);
 
@@ -157,10 +176,9 @@ pub fn exec_step_lean(
     let l2_target = (wss.min(spec.l2_bytes as f64)).max(1.0);
     let line = spec.line_bytes as f64;
     let mut remaining = dt_ns as f64;
-    let mut guard = 0;
+    let mut guard: u32 = 0;
     while remaining > 0.0 {
         guard += 1;
-        debug_assert!(guard < 10_000, "exec_step_lean failed to converge");
         let h2 = h2_cap * l2_warmth.clamp(0.0, 1.0);
         let resident = llc.occupancy(owner);
         let h3 = if wss <= 0.0 {
@@ -176,14 +194,16 @@ pub fn exec_step_lean(
                     + (1.0 - h2) * (h3 * spec.llc_hit_ns + (1.0 - h3) * spec.mem_ns));
 
         let mut chunk = remaining;
-        if llc_miss_per_instr > 1e-12 && wss > 0.0 {
-            let instr_cap = (wss * MAX_FILL_FRACTION / line) / llc_miss_per_instr;
-            chunk = chunk.min(instr_cap * ns_per_instr);
-        }
         let l2_fill_per_instr = deep * (1.0 - h2);
-        if l2_fill_per_instr > 1e-12 && *l2_warmth < 1.0 {
-            let instr_cap = (l2_target * MAX_FILL_FRACTION / line) / l2_fill_per_instr;
-            chunk = chunk.min(instr_cap * ns_per_instr);
+        if guard < MAX_SUBSTEPS {
+            if llc_miss_per_instr > 1e-12 && wss > 0.0 {
+                let instr_cap = (wss * MAX_FILL_FRACTION / line) / llc_miss_per_instr;
+                chunk = chunk.min(instr_cap * ns_per_instr);
+            }
+            if l2_fill_per_instr > 1e-12 && *l2_warmth < 1.0 {
+                let instr_cap = (l2_target * MAX_FILL_FRACTION / line) / l2_fill_per_instr;
+                chunk = chunk.min(instr_cap * ns_per_instr);
+            }
         }
         chunk = chunk.max(remaining.min(1.0)).min(remaining);
 
@@ -383,6 +403,40 @@ mod tests {
                     "occ[{i}] diverged at step {step}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn degenerate_profile_saturates_instead_of_spinning() {
+        // A pathological profile (tiny working set, heavy deep traffic)
+        // pins the fill-fraction caps near the 1 ns chunk floor, making
+        // the sub-step count proportional to the budget. The hard cap
+        // must bound the loop and still consume the whole budget — in
+        // release builds too, where the old guard was compiled out.
+        let spec = spec();
+        let p = MemProfile {
+            wss_bytes: 64,
+            deep_refs_per_instr: 50.0,
+            base_ns_per_instr: 0.1,
+        };
+        for exec in [
+            exec_step
+                as fn(&MemProfile, &CacheSpec, &mut LlcState, usize, &mut f64, u64) -> ExecOutcome,
+            exec_step_lean,
+        ] {
+            let mut llc = LlcState::new(spec.llc_bytes as f64, 1);
+            let mut w2 = 0.0;
+            let start = std::time::Instant::now();
+            let out = exec(&p, &spec, &mut llc, 0, &mut w2, 50 * MS);
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(30),
+                "cap failed to bound the loop"
+            );
+            assert!(out.instructions.is_finite() && out.instructions > 0.0);
+            assert!(out.llc_refs.is_finite() && out.llc_misses.is_finite());
+            // The budget is fully consumed: the final saturating step
+            // swallows whatever the capped sub-steps left over.
+            assert!(llc.occupancy(0) <= 64.0 + 1e-9);
         }
     }
 

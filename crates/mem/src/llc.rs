@@ -15,6 +15,30 @@ const FRESH_TAU: f64 = 0.5;
 /// How much more evictable a fully-stale byte is than a fresh one.
 const STALE_BOOST: f64 = 20.0;
 
+/// Freshness below this is flushed to exactly `0.0` by the decay loop.
+/// Multiplicative decay alone never reaches zero, so without the flush
+/// every owner that ever touched a socket stays "active" forever. The
+/// threshold sits far below the half-ulp of `1.0` (`2^-53`), where
+/// `1.0 - f` already rounds to exactly `1.0`, so a flushed owner's
+/// eviction weight is bit-identical either way; the only observable
+/// difference is a sub-1e-18 perturbation if the owner later re-touches
+/// — deep inside the conformance tolerance. Applied identically by
+/// [`LlcState::insert`] and [`LlcState::insert_lean`], so the two stay
+/// bit-equal to each other.
+const FRESHNESS_FLUSH: f64 = 1e-18;
+
+/// Occupancies below this many bytes are flushed to exactly `0.0` by
+/// the eviction loops. Proportional eviction shrinks a footprint
+/// geometrically and never reaches zero; a micro-byte footprint is
+/// physically meaningless but keeps its owner in every scan. The h3
+/// perturbation is at most `1e-6 / wss` — immeasurable. Applied
+/// identically by both insert paths.
+const OCC_FLUSH_BYTES: f64 = 1e-6;
+
+/// Insertions between opportunistic compactions of the active-owner
+/// index (lean path bookkeeping only).
+const PRUNE_PERIOD: u32 = 4096;
+
 /// Per-socket shared LLC state.
 ///
 /// Owner indices are dense (global vCPU indices); occupancy is tracked
@@ -49,6 +73,32 @@ pub struct LlcState {
     /// Reused eviction-weight buffer for [`LlcState::insert_lean`], so
     /// the lean path performs no allocation in steady state.
     scratch: Vec<f64>,
+    /// Mutation epoch: bumped whenever an insertion or owner eviction
+    /// can change any occupancy. An unchanged epoch proves every
+    /// occupancy-derived quantity is still exact; the steady-rate cache
+    /// ([`crate::rate::RateCache`]) uses the finer per-owner occupancy
+    /// bits instead, but the epoch remains the cheap socket-wide
+    /// contention signal (diagnostics, tests, future consumers). Pure
+    /// re-reference touches do **not** bump it — they alter only this
+    /// owner's freshness, which no execution rate reads.
+    epoch: u64,
+    /// Owners that may hold state (occupancy or freshness > 0), in
+    /// ascending order. The lean mutation paths scan only this set:
+    /// every skipped owner holds exactly `0.0` in both fields, and
+    /// `x + 0.0` / `0.0 × d` are exact, so the results are bit-identical
+    /// to the dense full scans. On a multi-socket machine owner indices
+    /// are global, so this keeps each socket's passes proportional to
+    /// the owners that ever ran there, not to the whole machine.
+    active: Vec<u32>,
+    /// Membership mirror of `active` for O(1) insertion checks.
+    is_active: Vec<bool>,
+    /// One-entry memo for the freshness decay exponential, keyed by the
+    /// exact bit pattern of `bytes`. Steady workloads insert identical
+    /// byte counts chunk after chunk; reusing the previous `exp` result
+    /// for the identical input is bit-transparent.
+    exp_memo: (u64, f64),
+    /// Lean insertions since the last active-set compaction.
+    prune_tick: u32,
 }
 
 impl LlcState {
@@ -61,6 +111,11 @@ impl LlcState {
             total: 0.0,
             freshness: vec![0.0; owners],
             scratch: Vec::new(),
+            epoch: 0,
+            active: Vec::new(),
+            is_active: vec![false; owners],
+            exp_memo: (u64::MAX, 1.0),
+            prune_tick: 0,
         }
     }
 
@@ -79,11 +134,30 @@ impl LlcState {
         self.total
     }
 
+    /// Current mutation epoch (see the field docs). Any change to any
+    /// occupancy bumps this; cached occupancy-derived rates are valid
+    /// exactly as long as the epoch stands still.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Grows the index space to hold at least `owners` owners.
     pub fn ensure_owners(&mut self, owners: usize) {
         if self.occ.len() < owners {
             self.occ.resize(owners, 0.0);
             self.freshness.resize(owners, 0.0);
+            self.is_active.resize(owners, false);
+        }
+    }
+
+    /// Marks an owner as possibly holding state, keeping `active`
+    /// sorted ascending so lean scans visit owners in dense index
+    /// order (the order the dense loops use).
+    fn activate(&mut self, owner: usize) {
+        if !self.is_active[owner] {
+            self.is_active[owner] = true;
+            let pos = self.active.partition_point(|&i| (i as usize) < owner);
+            self.active.insert(pos, owner as u32);
         }
     }
 
@@ -93,6 +167,9 @@ impl LlcState {
         self.ensure_owners(owner + 1);
         let f = &mut self.freshness[owner];
         *f = (*f + frac.max(0.0)).min(1.0);
+        if *f > 0.0 {
+            self.activate(owner);
+        }
     }
 
     /// Marks the owner's whole resident set as recently used.
@@ -116,12 +193,21 @@ impl LlcState {
         let grown = (cur + bytes).min(max_bytes.max(cur));
         self.total += grown - cur;
         self.occ[owner] = grown;
+        if bytes > 0.0 {
+            self.epoch = self.epoch.wrapping_add(1);
+        }
+        if grown > 0.0 {
+            self.activate(owner);
+        }
         // New insertions age everyone else's lines.
         if bytes > 0.0 {
             let decay = (-bytes / (self.capacity * FRESH_TAU)).exp();
             for (i, f) in self.freshness.iter_mut().enumerate() {
                 if i != owner {
                     *f *= decay;
+                    if *f < FRESHNESS_FLUSH {
+                        *f = 0.0;
+                    }
                 }
             }
         }
@@ -153,6 +239,9 @@ impl LlcState {
                 let want = overflow * w / wsum;
                 let take = want.min(*occ);
                 *occ -= take;
+                if *occ < OCC_FLUSH_BYTES {
+                    *occ = 0.0;
+                }
                 evicted += take;
             }
             overflow -= evicted;
@@ -167,6 +256,9 @@ impl LlcState {
                 let scale = (sum - overflow).max(0.0) / sum;
                 for o in &mut self.occ {
                     *o *= scale;
+                    if *o < OCC_FLUSH_BYTES {
+                        *o = 0.0;
+                    }
                 }
             }
         }
@@ -176,27 +268,58 @@ impl LlcState {
     /// Bit-identical fast variant of [`LlcState::insert`].
     ///
     /// Performs exactly the same floating-point operations in exactly
-    /// the same order, but reuses a scratch buffer for the eviction
-    /// weights (no allocation) and skips terms that are exactly zero
-    /// (`x + 0.0` and `0.0 × d` are exact, so skipping them cannot
-    /// change any bit of the result). The engine's adaptive time-advance
-    /// routes execution through this path; the dense conformance oracle
-    /// keeps calling [`LlcState::insert`]. `llc_lean_matches_insert`
-    /// (property test) asserts the bitwise equivalence.
+    /// the same order, but touches only the *active* owner set (owners
+    /// whose occupancy and freshness are not both exactly zero — the
+    /// skipped terms are exact identities: `x + 0.0`, `0.0 × d`,
+    /// `0.0`-weight takes), reuses a scratch buffer for the eviction
+    /// weights (no allocation) and memoizes the freshness-decay
+    /// exponential for repeated identical insert sizes. The engine's
+    /// adaptive time-advance routes execution through this path; the
+    /// dense conformance oracle keeps calling [`LlcState::insert`].
+    /// `llc_lean_matches_insert` (property test) asserts the bitwise
+    /// equivalence.
     pub fn insert_lean(&mut self, owner: usize, bytes: f64, max_bytes: f64) {
         debug_assert!(bytes >= 0.0 && max_bytes >= 0.0);
+        self.prune_tick += 1;
+        if self.prune_tick >= PRUNE_PERIOD {
+            self.prune_tick = 0;
+            self.prune_active();
+        }
         self.ensure_owners(owner + 1);
         let cur = self.occ[owner];
         let grown = (cur + bytes).min(max_bytes.max(cur));
         self.total += grown - cur;
         self.occ[owner] = grown;
-        // New insertions age everyone else's lines. Fully-stale owners
-        // (freshness exactly 0) stay at 0 under any decay, so skip them.
         if bytes > 0.0 {
-            let decay = (-bytes / (self.capacity * FRESH_TAU)).exp();
+            self.epoch = self.epoch.wrapping_add(1);
+        }
+        if grown > 0.0 {
+            self.activate(owner);
+        }
+        // Layout choice, not semantics: when most owners are active
+        // (single-socket machines), indexed gathers lose to contiguous
+        // scans, so fall through to the dense-layout loops; the sparse
+        // path pays off on multi-socket machines where each socket only
+        // ever hosts a fraction of the global owner space.
+        if self.active.len() * 4 >= self.occ.len() * 3 {
+            self.insert_lean_contiguous(owner, bytes);
+        } else {
+            self.insert_lean_sparse(owner, bytes);
+        }
+    }
+
+    /// The lean tail for a mostly-active owner space: the dense loop
+    /// shapes (contiguous scans, no indirection) with the lean-only
+    /// extras — scratch-buffer reuse and the memoized decay `exp`.
+    fn insert_lean_contiguous(&mut self, owner: usize, bytes: f64) {
+        if bytes > 0.0 {
+            let decay = self.decay_for(bytes);
             for (i, f) in self.freshness.iter_mut().enumerate() {
                 if i != owner && *f != 0.0 {
                     *f *= decay;
+                    if *f < FRESHNESS_FLUSH {
+                        *f = 0.0;
+                    }
                 }
             }
         }
@@ -230,6 +353,9 @@ impl LlcState {
                 let want = overflow * w / wsum;
                 let take = want.min(*occ);
                 *occ -= take;
+                if *occ < OCC_FLUSH_BYTES {
+                    *occ = 0.0;
+                }
                 evicted += take;
             }
             overflow -= evicted;
@@ -245,16 +371,131 @@ impl LlcState {
                 let scale = (sum - overflow).max(0.0) / sum;
                 for o in &mut self.occ {
                     *o *= scale;
+                    if *o < OCC_FLUSH_BYTES {
+                        *o = 0.0;
+                    }
                 }
             }
         }
         self.total = self.occ.iter().sum();
     }
 
+    /// The lean tail for a sparsely-active owner space: every scan
+    /// visits only the active owners. Inactive owners hold exactly
+    /// `0.0` occupancy and freshness, so the skipped terms are exact
+    /// identities (`x + 0.0`, `0.0 × d`, zero-weight takes) and the
+    /// results match the contiguous scans bit for bit.
+    fn insert_lean_sparse(&mut self, owner: usize, bytes: f64) {
+        if bytes > 0.0 {
+            let decay = self.decay_for(bytes);
+            for k in 0..self.active.len() {
+                let i = self.active[k] as usize;
+                if i != owner && self.freshness[i] != 0.0 {
+                    self.freshness[i] *= decay;
+                    if self.freshness[i] < FRESHNESS_FLUSH {
+                        self.freshness[i] = 0.0;
+                    }
+                }
+            }
+        }
+        let mut overflow = self.total - self.capacity;
+        if overflow <= 0.0 {
+            return;
+        }
+        let mut weights = std::mem::take(&mut self.scratch);
+        for _ in 0..4 {
+            if overflow <= 1e-9 {
+                break;
+            }
+            weights.clear();
+            let mut wsum = 0.0;
+            for &iu in &self.active {
+                let i = iu as usize;
+                let w = if self.occ[i] > 0.0 {
+                    self.occ[i] * (1.0 + STALE_BOOST * (1.0 - self.freshness[i]))
+                } else {
+                    0.0
+                };
+                weights.push(w);
+                wsum += w;
+            }
+            if wsum <= 0.0 {
+                break;
+            }
+            let mut evicted = 0.0;
+            for (k, &w) in weights.iter().enumerate() {
+                // Zero-weight owners contribute an exact 0.0 take.
+                if w == 0.0 {
+                    continue;
+                }
+                let occ = &mut self.occ[self.active[k] as usize];
+                let want = overflow * w / wsum;
+                let take = want.min(*occ);
+                *occ -= take;
+                if *occ < OCC_FLUSH_BYTES {
+                    *occ = 0.0;
+                }
+                evicted += take;
+            }
+            overflow -= evicted;
+            if evicted <= 1e-12 {
+                break;
+            }
+        }
+        self.scratch = weights;
+        if overflow > 1e-9 {
+            // Degenerate weights: plain proportional fallback.
+            let sum: f64 = self.active.iter().map(|&i| self.occ[i as usize]).sum();
+            if sum > 0.0 {
+                let scale = (sum - overflow).max(0.0) / sum;
+                for &iu in &self.active {
+                    let o = &mut self.occ[iu as usize];
+                    *o *= scale;
+                    if *o < OCC_FLUSH_BYTES {
+                        *o = 0.0;
+                    }
+                }
+            }
+        }
+        self.total = self.active.iter().map(|&i| self.occ[i as usize]).sum();
+    }
+
+    /// Drops owners whose occupancy and freshness have both been
+    /// flushed to exactly zero from the active index (pure
+    /// bookkeeping: a skipped all-zero owner contributes nothing to
+    /// any scan).
+    fn prune_active(&mut self) {
+        let occ = &self.occ;
+        let fresh = &self.freshness;
+        let is_active = &mut self.is_active;
+        self.active.retain(|&iu| {
+            let i = iu as usize;
+            let live = occ[i] != 0.0 || fresh[i] != 0.0;
+            if !live {
+                is_active[i] = false;
+            }
+            live
+        });
+    }
+
+    /// The freshness decay factor for an insertion of `bytes`, with a
+    /// one-entry bitwise memo (same input bits → same output bits, so
+    /// the memo is invisible in the results).
+    fn decay_for(&mut self, bytes: f64) -> f64 {
+        let key = bytes.to_bits();
+        if self.exp_memo.0 != key {
+            self.exp_memo = (key, (-bytes / (self.capacity * FRESH_TAU)).exp());
+        }
+        self.exp_memo.1
+    }
+
     /// Removes the owner's footprint entirely (socket migration or VM
     /// teardown).
     pub fn evict_owner(&mut self, owner: usize) {
         if let Some(o) = self.occ.get_mut(owner) {
+            if *o != 0.0 {
+                self.epoch = self.epoch.wrapping_add(1);
+            }
             self.total -= *o;
             *o = 0.0;
             if self.total < 0.0 {
@@ -404,6 +645,7 @@ mod tests {
                     }
                 }
                 assert_eq!(a.total().to_bits(), b.total().to_bits(), "step {step}");
+                assert_eq!(a.epoch(), b.epoch(), "epoch diverged at step {step}");
                 for i in 0..owners {
                     assert_eq!(
                         a.occupancy(i).to_bits(),
@@ -418,6 +660,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn epoch_tracks_mutations_only() {
+        let mut llc = LlcState::new(1000.0, 2);
+        let e0 = llc.epoch();
+        llc.touch_frac(0, 0.5); // pure re-reference: no occupancy change
+        assert_eq!(llc.epoch(), e0, "touches must not bump the epoch");
+        llc.insert(0, 10.0, 1e9);
+        assert_ne!(llc.epoch(), e0, "insertions must bump the epoch");
+        let e1 = llc.epoch();
+        llc.insert(0, 0.0, 1e9); // zero-byte insert changes nothing
+        assert_eq!(llc.epoch(), e1);
+        llc.evict_owner(0);
+        assert_ne!(llc.epoch(), e1, "owner eviction must bump the epoch");
+        let e2 = llc.epoch();
+        llc.evict_owner(1); // owner 1 holds nothing
+        assert_eq!(llc.epoch(), e2);
     }
 
     #[test]

@@ -21,8 +21,8 @@
 use std::collections::VecDeque;
 
 use aql_hv::workload::{
-    ExecContext, GuestWorkload, Horizon, LatencySummary, RunOutcome, StopReason, TimerFire,
-    WorkloadMetrics,
+    CoalesceHint, CoalesceProbe, ExecContext, GuestWorkload, Horizon, LatencySummary, RunOutcome,
+    StopReason, TimerFire, WorkloadMetrics,
 };
 use aql_mem::MemProfile;
 use aql_sim::rng::SimRng;
@@ -284,6 +284,34 @@ impl GuestWorkload for IoServer {
             Horizon::Unknown
         } else {
             Horizon::At(now + self.pending_service_ns)
+        }
+    }
+
+    fn coalesce(&self, _slot: usize, probe: &mut CoalesceProbe<'_>) -> CoalesceHint {
+        // Service bursts are pure-rate when the service profile is at
+        // the fixpoint: requests arrive only via timers (span
+        // boundaries), the server draws from its own RNG only in
+        // `on_timer`, and completion stamps are integer CPU-time
+        // arithmetic — so execution is chunk-size invariant and
+        // latency samples are bit-exact under coalescing. The linear
+        // window must not contain the queue-drain transition unless the
+        // background profile is equally linear: stopping 1 ns short of
+        // the drain instant guarantees a coalesced budget can never hit
+        // the Blocked (or profile-switch) boundary inside a span.
+        let service_linear = self.pending_service_ns == 0 || probe.linear_rate(&self.cfg.profile);
+        if !service_linear {
+            return CoalesceHint::No;
+        }
+        let background_linear = self.cfg.background.is_some_and(|bg| probe.linear_rate(&bg));
+        if background_linear {
+            // Both sides of the drain are linear; the window is open.
+            CoalesceHint::LinearFor(u64::MAX)
+        } else if self.pending_service_ns > 1 {
+            CoalesceHint::LinearFor(self.pending_service_ns - 1)
+        } else {
+            // Nothing to run linearly: drained (or about to), and the
+            // continuation (background or block) is not coalescible.
+            CoalesceHint::No
         }
     }
 

@@ -8,7 +8,8 @@
 //! performance metric is retired instructions.
 
 use aql_hv::workload::{
-    ExecContext, GuestWorkload, Horizon, RunOutcome, TimerFire, WorkloadMetrics,
+    CoalesceHint, CoalesceProbe, ExecContext, GuestWorkload, Horizon, RunOutcome, TimerFire,
+    WorkloadMetrics,
 };
 use aql_mem::{CacheSpec, MemProfile};
 use aql_sim::time::SimTime;
@@ -92,6 +93,17 @@ impl GuestWorkload for MemWalk {
         // A pure CPU burner: it never blocks or yields, so the engine
         // may fast-forward across it without limit.
         Horizon::Never
+    }
+
+    fn coalesce(&self, _slot: usize, probe: &mut CoalesceProbe<'_>) -> CoalesceHint {
+        // A walker is pure-rate whenever its working set is resident
+        // and the L2 is warm: no misses, no shared-state mutation, no
+        // RNG. The profile never changes, so the window is unbounded.
+        if probe.linear_rate(&self.profile) {
+            CoalesceHint::LinearFor(u64::MAX)
+        } else {
+            CoalesceHint::No
+        }
     }
 
     fn next_timer(&self, _slot: usize) -> Option<SimTime> {

@@ -7,7 +7,8 @@
 //! recognition tests and the `vtrs_live` example.
 
 use aql_hv::workload::{
-    ExecContext, GuestWorkload, Horizon, RunOutcome, TimerFire, WorkloadMetrics,
+    CoalesceHint, CoalesceProbe, ExecContext, GuestWorkload, Horizon, RunOutcome, TimerFire,
+    WorkloadMetrics,
 };
 use aql_mem::MemProfile;
 use aql_sim::time::SimTime;
@@ -100,6 +101,19 @@ impl GuestWorkload for PhasedMemWalk {
         Horizon::Never
     }
 
+    fn coalesce(&self, _slot: usize, probe: &mut CoalesceProbe<'_>) -> CoalesceHint {
+        // Linear *within* the current phase: the upcoming phase has a
+        // different profile (a different rate, possibly cold), so the
+        // window ends at the phase boundary — the engine coalesces up
+        // to it and replays the grid across the shift, which also
+        // re-keys the rate cache on the new profile bits.
+        if probe.linear_rate(&self.phases[self.current].profile) {
+            CoalesceHint::LinearFor(self.left_in_phase)
+        } else {
+            CoalesceHint::No
+        }
+    }
+
     fn next_timer(&self, _slot: usize) -> Option<SimTime> {
         None
     }
@@ -190,6 +204,7 @@ mod tests {
             owner: 0,
             running_slots: &running,
             lean: false,
+            rate_cache: None,
         };
         let out = w.run(0, 25 * MS, &mut ctx);
         assert_eq!(out.used_ns, 25 * MS);

@@ -30,7 +30,8 @@
 
 use aql_hv::spinlock::TicketLock;
 use aql_hv::workload::{
-    ExecContext, GuestWorkload, Horizon, RunOutcome, StopReason, TimerFire, WorkloadMetrics,
+    CoalesceHint, CoalesceProbe, ExecContext, GuestWorkload, Horizon, RunOutcome, StopReason,
+    TimerFire, WorkloadMetrics,
 };
 use aql_mem::MemProfile;
 use aql_sim::rng::SimRng;
@@ -391,6 +392,25 @@ impl GuestWorkload for SpinJob {
             Horizon::Unknown
         } else {
             Horizon::Never
+        }
+    }
+
+    fn coalesce(&self, _slot: usize, probe: &mut CoalesceProbe<'_>) -> CoalesceHint {
+        // Only under no PLE-yield activity and with no running sibling:
+        // a directed yield is a scheduler-visible act, and two running
+        // threads interact through the lock fabric, the barrier and the
+        // job's own RNG at sub-step granularity — coalescing would
+        // reorder those by whole spans. A *sole* running thread only
+        // reads frozen sibling state (spinning on a descheduled holder
+        // burns CPU budget-deterministically), so with a fixpoint
+        // profile its execution is chunk-size invariant.
+        if self.cfg.yield_on_ple || probe.running_sibling_count() > 1 {
+            return CoalesceHint::No;
+        }
+        if probe.linear_rate(&self.cfg.profile) {
+            CoalesceHint::LinearFor(u64::MAX)
+        } else {
+            CoalesceHint::No
         }
     }
 

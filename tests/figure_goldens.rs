@@ -156,6 +156,7 @@ fn figure_output_is_thread_and_mode_invariant() {
         &ExecOpts {
             threads: 4,
             time_mode: TimeMode::Dense,
+            ..ExecOpts::default()
         },
     );
     assert_eq!(golden(std::slice::from_ref(&serial)), golden(&[parallel]));

@@ -1,7 +1,11 @@
 //! Conformance and property tests of the event-horizon time-advance
-//! core: `TimeMode::Adaptive` must be observationally identical to the
-//! dense oracle — byte-identical reports, a monotone clock, and not a
-//! single scheduled event skipped or reordered.
+//! core: `TimeMode::Adaptive` must reproduce the dense oracle under
+//! the tolerance contract — bit-exact integer accounting, a monotone
+//! clock, not a single scheduled event skipped or reordered, and f64
+//! metrics within 1e-6 relative (the drift budget chunk coalescing is
+//! granted; see `aql_hv::engine::horizon`).
+
+mod common;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,7 +35,7 @@ const CONFORMANCE_SCENARIOS: [&str; 5] = [
 const CONFORMANCE_POLICIES: [&str; 4] = ["xen-credit", "microsliced", "vslicer", "aql-sched"];
 
 #[test]
-fn adaptive_reports_are_byte_identical_to_dense_on_the_catalog() {
+fn adaptive_reports_conform_to_dense_on_the_catalog() {
     for name in CONFORMANCE_SCENARIOS {
         let spec = catalog::load(name).expect("catalog entry").quick();
         for policy in CONFORMANCE_POLICIES {
@@ -42,11 +46,39 @@ fn adaptive_reports_are_byte_identical_to_dense_on_the_catalog() {
                 let p = policy_for(&spec, policy).expect("known policy");
                 run_seeded_in(&spec, p, spec.seed, mode)
             };
+            let dense = run(TimeMode::Dense);
+            let adaptive = run(TimeMode::Adaptive);
+            common::assert_reports_conform(
+                &dense,
+                &adaptive,
+                common::REL_TOL,
+                &format!("{name}/{policy}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn uncoalesced_adaptive_is_byte_identical_to_dense_on_the_catalog() {
+    // With coalescing off the adaptive mode replays the dense chunk
+    // grid exactly; the byte-level oracle of PR 3 still holds and
+    // pins the grid path against regressions.
+    use aql_sched::scenarios::run_seeded_tuned;
+    for name in CONFORMANCE_SCENARIOS {
+        let spec = catalog::load(name).expect("catalog entry").quick();
+        for policy in CONFORMANCE_POLICIES {
+            if !policy_applicable(&spec, policy) {
+                continue;
+            }
+            let run = |mode: TimeMode| {
+                let p = policy_for(&spec, policy).expect("known policy");
+                run_seeded_tuned(&spec, p, spec.seed, mode, false)
+            };
             let dense = format!("{:?}", run(TimeMode::Dense));
             let adaptive = format!("{:?}", run(TimeMode::Adaptive));
             assert_eq!(
                 dense, adaptive,
-                "time modes diverged on {name} under {policy}"
+                "grid-path time modes diverged on {name} under {policy}"
             );
         }
     }
@@ -114,7 +146,7 @@ impl GuestWorkload for TimerProbe {
 /// Builds a machine with CPU hogs (whose horizons let the adaptive
 /// mode fast-forward) plus a timer probe, runs it to `end` in the
 /// given `run_until` increments, and returns (deliveries, regressions,
-/// final now, report digest).
+/// final now, report).
 fn run_probed(
     mode: TimeMode,
     cores: usize,
@@ -122,7 +154,7 @@ fn run_probed(
     period_ns: u64,
     increments: &[u64],
     seed: u64,
-) -> (u64, u64, SimTime, String) {
+) -> (u64, u64, SimTime, aql_sched::hv::RunReport) {
     let cache = CacheSpec::i7_3770();
     let fired = Arc::new(AtomicU64::new(0));
     let regressions = Arc::new(AtomicU64::new(0));
@@ -157,7 +189,7 @@ fn run_probed(
         fired.load(Ordering::Relaxed),
         regressions.load(Ordering::Relaxed),
         sim.now(),
-        format!("{:?}", sim.report()),
+        sim.report(),
     )
 }
 
@@ -176,7 +208,7 @@ fn no_timer_is_skipped_while_fast_forwarding() {
     // 1 s of 3 ms timers: all ~333 deliveries happen in both modes.
     assert_eq!(fired_a, fired_d, "a fast-forwarded span skipped timers");
     assert!(fired_a >= 330, "probe barely fired: {fired_a}");
-    assert_eq!(rep_a, rep_d, "reports diverged");
+    common::assert_reports_conform(&rep_d, &rep_a, common::REL_TOL, "timer probe");
 }
 
 proptest! {
@@ -213,6 +245,6 @@ proptest! {
             adaptive.0 >= expected.saturating_sub(1) && adaptive.0 <= expected + 1,
             "deliveries {} far from schedule {}", adaptive.0, expected
         );
-        prop_assert_eq!(adaptive.3, dense.3);
+        common::assert_reports_conform(&dense.3, &adaptive.3, common::REL_TOL, "probed run");
     }
 }
