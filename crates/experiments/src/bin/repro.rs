@@ -93,8 +93,8 @@ const ALL: [&str; 14] = [
 
 fn usage() {
     eprintln!(
-        "usage: repro [--quick] [--threads N] [--time-mode adaptive|dense] \
-         [--bench-json PATH] <command>..."
+        "usage: repro [--quick] [--threads N] [--span-workers N] \
+         [--time-mode adaptive|dense] [--bench-json PATH] <command>..."
     );
     eprintln!("commands: {} | all", ALL.join(" | "));
     eprintln!("          fig2a..fig2f fig2lock (individual panels)");
@@ -129,6 +129,18 @@ fn main() -> ExitCode {
                     Ok(n) => opts.threads = n,
                     Err(_) => {
                         eprintln!("error: --threads needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--span-workers" => {
+                let Some(v) = take_value(&mut args, i, "--span-workers") else {
+                    return ExitCode::FAILURE;
+                };
+                match v.parse() {
+                    Ok(n) if n > 0 => opts.span_workers = n,
+                    _ => {
+                        eprintln!("error: --span-workers needs a positive number");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -181,7 +193,7 @@ fn main() -> ExitCode {
         // side, and a dense-oracle run cannot overwrite an adaptive
         // timing.
         let key = format!(
-            "repro_{}threads{}{}",
+            "repro_{}threads{}{}{}",
             if quick { "quick_" } else { "" },
             if opts.threads == 0 {
                 "auto".to_string()
@@ -192,6 +204,11 @@ fn main() -> ExitCode {
                 "_dense"
             } else {
                 ""
+            },
+            if opts.span_workers > 1 {
+                format!("_span{}", opts.span_workers)
+            } else {
+                String::new()
             }
         );
         let value = format!(

@@ -11,13 +11,24 @@
 //!   --policies a,b      policies to compare (default: all five)
 //!   --seeds N           replicates per scenario (default: 1)
 //!   --threads N         worker threads (default: all cores)
+//!   --span-workers N    per-simulation socket lanes for coalesced
+//!                       spans (default: 1; never changes the table)
 //!   --quick             shorten warm-up/measurement (CI smoke)
 //!   --time-mode M       adaptive (default), dense, or both: `both`
 //!                       runs the matrix under each mode, asserts the
 //!                       aggregate tables are byte-identical, and
 //!                       reports the wall-clock speedup
+//!   --oracle-sample N   with `both`, run the comparison on a seeded
+//!                       rotation of N scenarios instead of the full
+//!                       list (the CI dense-oracle sampling knob)
+//!   --oracle-seed S     rotation seed for `--oracle-sample`
+//!                       (default: 0; CI derives it from the commit
+//!                       count so the subset advances PR over PR)
 //!   --bench-json PATH   with `both`, write the timing comparison as
-//!                       JSON (the CI perf-smoke writes BENCH_sweep.json)
+//!                       JSON (the CI perf-smoke writes
+//!                       BENCH_sweep.json); otherwise record this
+//!                       run's wall time under a
+//!                       `sweep[_quick]_span_workersN` key
 //!   --list              print the catalog and exit
 //!   --show NAME         print a scenario document and exit
 //! ```
@@ -29,15 +40,16 @@
 
 use std::process::ExitCode;
 
-use aql_experiments::emit::save_and_print;
+use aql_experiments::emit::{save_and_print, update_bench_json};
 use aql_experiments::sweep::{run_sweep, SweepConfig, SweepOutcome};
 use aql_scenarios::{catalog, TimeMode};
 
 fn usage() -> String {
     format!(
         "usage: sweep [--scenarios a,b,c] [--policies a,b] [--seeds N] \
-         [--threads N] [--quick] [--time-mode adaptive|dense|both] \
-         [--bench-json PATH] [--list] [--show NAME]\n\
+         [--threads N] [--span-workers N] [--quick] \
+         [--time-mode adaptive|dense|both] [--oracle-sample N] \
+         [--oracle-seed S] [--bench-json PATH] [--list] [--show NAME]\n\
          scenarios: {}\n\
          policies:  {}",
         catalog::names().join(", "),
@@ -122,6 +134,26 @@ struct Cli {
     ran_meta: bool,
     compare_modes: bool,
     bench_json: Option<String>,
+    /// `--oracle-sample N`: cap the mode-comparison matrix at `N`
+    /// scenarios, chosen by a seeded rotation (`0` = full list).
+    oracle_sample: usize,
+    /// Rotation seed for `--oracle-sample`.
+    oracle_seed: u64,
+}
+
+/// Picks `sample` scenario names by rotating a window of that length
+/// through the list, starting at `seed % len`. Deterministic, keeps
+/// the original order inside the window, and sweeps every scenario
+/// into the window as the seed advances (CI derives the seed from the
+/// commit count).
+fn sample_rotation(names: &[String], sample: usize, seed: u64) -> Vec<String> {
+    if sample == 0 || sample >= names.len() {
+        return names.to_vec();
+    }
+    let start = (seed % names.len() as u64) as usize;
+    let mut picked: Vec<usize> = (0..sample).map(|i| (start + i) % names.len()).collect();
+    picked.sort_unstable();
+    picked.into_iter().map(|i| names[i].clone()).collect()
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -131,6 +163,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut ran_meta = false;
     let mut compare_modes = false;
     let mut bench_json = None;
+    let mut oracle_sample = 0usize;
+    let mut oracle_seed = 0u64;
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
             it.next()
@@ -160,6 +194,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|_| "--threads needs a number".to_string())?;
             }
+            "--span-workers" => {
+                cfg.span_workers = value("--span-workers")?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| "--span-workers needs a positive number".to_string())?;
+            }
             "--quick" => cfg.quick = true,
             "--time-mode" => match value("--time-mode")?.as_str() {
                 "adaptive" => cfg.time_mode = TimeMode::Adaptive,
@@ -172,6 +213,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
             },
             "--bench-json" => bench_json = Some(value("--bench-json")?),
+            "--oracle-sample" => {
+                oracle_sample = value("--oracle-sample")?
+                    .parse()
+                    .map_err(|_| "--oracle-sample needs a number".to_string())?;
+            }
+            "--oracle-seed" => {
+                oracle_seed = value("--oracle-seed")?
+                    .parse()
+                    .map_err(|_| "--oracle-seed needs a number".to_string())?;
+            }
             "--list" => {
                 for spec in catalog::load_all().map_err(|e| e.to_string())? {
                     println!(
@@ -199,9 +250,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown option '{other}'\n{}", usage())),
         }
     }
-    if bench_json.is_some() && !compare_modes {
-        return Err("--bench-json requires --time-mode both (it records the \
-                    dense-vs-adaptive comparison)"
+    if oracle_sample > 0 && !compare_modes {
+        return Err("--oracle-sample requires --time-mode both (it samples the \
+                    dense-oracle comparison matrix)"
             .to_string());
     }
     Ok(Cli {
@@ -210,6 +261,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         ran_meta,
         compare_modes,
         bench_json,
+        oracle_sample,
+        oracle_seed,
     })
 }
 
@@ -220,6 +273,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 /// one within the tolerance rounding absorbs), report the wall-clock
 /// comparison and optionally write it as JSON.
 fn run_mode_comparison(cli: &Cli) -> Result<(), String> {
+    let names = sample_rotation(&cli.names, cli.oracle_sample, cli.oracle_seed);
+    if names.len() < cli.names.len() {
+        println!(
+            "dense-oracle sampling: {} of {} scenarios (rotation seed {}): {}",
+            names.len(),
+            cli.names.len(),
+            cli.oracle_seed,
+            names.join(", ")
+        );
+    }
     let dense_cfg = SweepConfig {
         time_mode: TimeMode::Dense,
         ..cli.cfg.clone()
@@ -236,19 +299,19 @@ fn run_mode_comparison(cli: &Cli) -> Result<(), String> {
     };
     println!(
         "sweeping {} scenarios under TimeMode::Dense ...",
-        cli.names.len()
+        names.len()
     );
-    let dense = run_sweep(&cli.names, &dense_cfg)?;
+    let dense = run_sweep(&names, &dense_cfg)?;
     println!(
         "sweeping {} scenarios under TimeMode::Adaptive (coalescing off) ...",
-        cli.names.len()
+        names.len()
     );
-    let flat = run_sweep(&cli.names, &flat_cfg)?;
+    let flat = run_sweep(&names, &flat_cfg)?;
     println!(
         "sweeping {} scenarios under TimeMode::Adaptive (coalescing on) ...",
-        cli.names.len()
+        names.len()
     );
-    let coalesced = run_sweep(&cli.names, &coalesced_cfg)?;
+    let coalesced = run_sweep(&names, &coalesced_cfg)?;
     if dense.table.render() != flat.table.render() {
         return Err(
             "conformance violation: dense and uncoalesced-adaptive tables differ".to_string(),
@@ -269,7 +332,7 @@ fn run_mode_comparison(cli: &Cli) -> Result<(), String> {
         x(d_ms, c_ms)
     );
     if let Some(path) = &cli.bench_json {
-        let doc = bench_json(&cli.names, &cli.cfg, &dense, &flat, &coalesced);
+        let doc = bench_json(&names, &cli.cfg, &dense, &flat, &coalesced);
         std::fs::write(path, doc).map_err(|e| format!("could not write {path}: {e}"))?;
         println!("(saved {path})");
     }
@@ -300,6 +363,33 @@ fn main() -> ExitCode {
     match run_sweep(&cli.names, &cli.cfg) {
         Ok(outcome) => {
             save_and_print(std::slice::from_ref(&outcome.table));
+            if let Some(path) = &cli.bench_json {
+                // Plain-mode benchmark record: one key per
+                // (quick, span-workers, time-mode) shape, so the CI
+                // span-scaling smoke can log `span_workers` 1 and 4
+                // side by side without touching the mode-comparison
+                // columns.
+                let key = format!(
+                    "sweep_{}span_workers{}{}",
+                    if cli.cfg.quick { "quick_" } else { "" },
+                    cli.cfg.span_workers,
+                    if cli.cfg.time_mode == TimeMode::Dense {
+                        "_dense"
+                    } else {
+                        ""
+                    }
+                );
+                let value = format!(
+                    "{{\"scenarios\": {}, \"wall_ms\": {:.3}}}",
+                    cli.names.len(),
+                    outcome.total_wall_ns() as f64 / 1e6
+                );
+                if let Err(e) = update_bench_json(std::path::Path::new(path), &key, &value) {
+                    eprintln!("warning: could not update {path}: {e}");
+                } else {
+                    println!("(recorded {key} in {path})");
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -32,7 +32,7 @@ use std::sync::Mutex;
 use aql_core::AqlSched;
 use aql_hv::apptype::VcpuType;
 use aql_hv::{RunReport, Simulation, TimeMode};
-use aql_scenarios::{build_sim_seeded_tuned, parse_policy, ScenarioSpec};
+use aql_scenarios::{build_sim_seeded_full, parse_policy, ScenarioSpec};
 
 /// Policy-internal state to extract from a cell's simulation before
 /// it is dropped (see the module docs).
@@ -138,6 +138,13 @@ pub struct ExecOpts {
     /// (default on). Off pins the grid-replaying fast path that is
     /// bit-identical to `Dense` — the CI bench's perf baseline.
     pub coalesce: bool,
+    /// Parallel span-execution lanes *inside* each simulation (see
+    /// `SimulationBuilder::span_workers`; default 1 = serial engine).
+    /// Orthogonal to `threads`, which fans whole cells: `threads`
+    /// scales scenario-level throughput, `span_workers` single-run
+    /// latency on multi-socket machines. Results are byte-identical
+    /// for every value.
+    pub span_workers: usize,
 }
 
 impl Default for ExecOpts {
@@ -146,6 +153,7 @@ impl Default for ExecOpts {
             threads: 0,
             time_mode: TimeMode::default(),
             coalesce: true,
+            span_workers: 1,
         }
     }
 }
@@ -269,12 +277,13 @@ pub fn execute(cells: &[PlanCell], opts: &ExecOpts) -> Result<Vec<CellResult>, S
                 }
                 let boxed = policy.build(&cell.spec);
                 let t0 = std::time::Instant::now();
-                let mut sim = build_sim_seeded_tuned(
+                let mut sim = build_sim_seeded_full(
                     &cell.spec,
                     boxed,
                     cell.base_seed,
                     opts.time_mode,
                     opts.coalesce,
+                    opts.span_workers,
                 );
                 let report = sim.run_measured(cell.spec.warmup_ns, cell.spec.measure_ns);
                 let wall_ns = t0.elapsed().as_nanos() as u64;

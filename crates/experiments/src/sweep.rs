@@ -54,6 +54,12 @@ pub struct SweepConfig {
     /// stays byte-identical either way — coalescing drift vanishes at
     /// rendering precision.
     pub coalesce: bool,
+    /// Worker lanes for a coalesced span *inside* each simulation
+    /// (see [`aql_hv::SimulationBuilder::span_workers`]). Orthogonal
+    /// to [`threads`](Self::threads): `threads` parallelises across
+    /// matrix cells, `span_workers` across sockets within one cell.
+    /// Results are byte-identical for every value.
+    pub span_workers: usize,
 }
 
 impl Default for SweepConfig {
@@ -68,6 +74,7 @@ impl Default for SweepConfig {
             quick: false,
             time_mode: TimeMode::default(),
             coalesce: true,
+            span_workers: 1,
         }
     }
 }
@@ -185,6 +192,7 @@ pub fn run_sweep_on(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Result<SweepOu
         threads: cfg.threads,
         time_mode: cfg.time_mode,
         coalesce: cfg.coalesce,
+        span_workers: cfg.span_workers,
     };
     let results: Vec<SweepResult> = jobs
         .into_iter()

@@ -58,6 +58,7 @@ mod exec;
 mod horizon;
 mod machine;
 mod monitor;
+mod spanpool;
 
 #[cfg(test)]
 mod tests;
@@ -153,9 +154,21 @@ pub struct Simulation {
     /// declares itself linear (see `engine::horizon`). Off, the
     /// adaptive mode replays the dense sub-step grid bit-for-bit.
     coalesce: bool,
-    /// Steady-rate memo for the lean execution path and the coalesce
-    /// probes (see [`aql_mem::RateCache`]).
-    rate_cache: RateCache,
+    /// Steady-rate memos for the lean execution path and the coalesce
+    /// probes, one per socket (see [`aql_mem::RateCache`]). The split
+    /// is bit-transparent — a miss recomputes the exact bits a hit
+    /// would have served — and is what lets a parallel span hand each
+    /// socket lane its own cache without locking.
+    rate_caches: Vec<RateCache>,
+    /// Persistent worker threads for parallel span execution; `None`
+    /// runs every span on the calling thread (`span_workers <= 1` or a
+    /// single-socket machine).
+    span_pool: Option<spanpool::SpanPool>,
+    /// How many coalesced spans actually executed on the pool (multi-
+    /// socket fan-out, not the serial fallback). Diagnostic only —
+    /// never enters a report; the conformance suites assert it is
+    /// non-zero to prove their determinism checks are not vacuous.
+    parallel_spans: u64,
     /// Scheduling-state generation: bumped on every event, dispatch,
     /// preemption, block and yield. The adaptive planner memoizes a
     /// failed quiescent-span plan against this counter — no plan can
@@ -185,11 +198,22 @@ impl Simulation {
         self.time_mode
     }
 
-    /// `(hits, recomputes)` of the steady-rate cache — recomputes count
-    /// every invalidation-by-key-mismatch (contention insertions,
-    /// migration warmth resets, phase shifts).
+    /// `(hits, recomputes)` of the steady-rate caches, summed over
+    /// sockets — recomputes count every invalidation-by-key-mismatch
+    /// (contention insertions, migration warmth resets, phase shifts).
     pub fn rate_cache_stats(&self) -> (u64, u64) {
-        self.rate_cache.stats()
+        self.rate_caches
+            .iter()
+            .map(|c| c.stats())
+            .fold((0, 0), |(h, r), (ch, cr)| (h + ch, r + cr))
+    }
+
+    /// How many coalesced spans ran on the span pool (multi-socket
+    /// fan-out; the serial fallback does not count). Zero whenever
+    /// `span_workers <= 1`, the machine has one socket, or no span
+    /// ever had two sockets busy.
+    pub fn parallel_span_count(&self) -> u64 {
+        self.parallel_spans
     }
 
     /// Runs until `end` (absolute simulated time). A no-op when `end`

@@ -1,0 +1,261 @@
+//! A persistent thread pool for parallel span execution.
+//!
+//! The pool exists for exactly one call shape: `engine::horizon` has
+//! split a coalesced span into independent per-socket closures and
+//! wants them run concurrently, blocking until all of them finish.
+//! Workers are spawned once at simulation build time and parked on a
+//! condvar between spans, so the per-span cost is two mutex round
+//! trips per lane — not a thread spawn.
+//!
+//! # Why not `std::thread::scope`
+//!
+//! A simulation executes millions of spans; scoped threads would spawn
+//! and join OS threads on every one of them. The experiments layer
+//! already demonstrates the scoped pattern for coarse-grained work
+//! (one thread per *scenario*); spans are about six orders of
+//! magnitude finer.
+//!
+//! # Safety argument
+//!
+//! [`SpanPool::run`] accepts closures borrowing the caller's stack
+//! (`'a`, not `'static`) and erases the lifetime to hand them to the
+//! workers. This is the classic scoped-pool argument: `run` does not
+//! return until every job has finished executing and the shared job
+//! list has been cleared, so no worker can observe a job pointer after
+//! the borrows it captures expire. Worker panics are caught, carried
+//! back, and re-raised on the calling thread from `run` itself.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased, lifetime-erased job pointer. Only ever dereferenced
+/// between publication and completion of one [`SpanPool::run`] call,
+/// while the pointee is alive and exclusively ours (each job is
+/// claimed by exactly one lane via the shared cursor).
+struct JobPtr(*mut (dyn FnMut() + Send));
+
+// SAFETY: the pointee is `Send` (bound enforced at the only
+// construction site, in `run`) and exclusively claimed by one worker.
+unsafe impl Send for JobPtr {}
+
+/// Shared pool state behind the mutex.
+#[derive(Default)]
+struct State {
+    /// Jobs of the span in flight; cleared before `run` returns.
+    jobs: Vec<JobPtr>,
+    /// Next unclaimed job index (lanes race on this under the lock).
+    next: usize,
+    /// Jobs published but not yet finished.
+    remaining: usize,
+    /// Tells workers to exit (set once, by `Drop`).
+    shutdown: bool,
+    /// First worker panic of the span, re-raised by `run`.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// A persistent pool of span workers (see the module docs).
+///
+/// The calling thread participates as a lane itself, so a pool built
+/// with `SpanPool::new(n)` executes jobs on `n + 1` lanes.
+pub(super) struct SpanPool {
+    shared: &'static Shared,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: new jobs published, or shutdown.
+    work: Condvar,
+    /// Signals the caller: `remaining` reached zero.
+    done: Condvar,
+}
+
+impl std::fmt::Debug for SpanPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl SpanPool {
+    /// Spawns `workers` parked worker threads (the calling thread is
+    /// the `workers + 1`-th lane).
+    pub(super) fn new(workers: usize) -> Self {
+        debug_assert!(workers > 0, "a zero-worker pool is just the caller");
+        // The shared block must outlive the workers; they are joined in
+        // `Drop`, after which the leak is the only remainder. One
+        // allocation per simulation, freed with the process — the same
+        // trade `Box::leak`-based pools make to avoid `Arc` traffic on
+        // the span hot path.
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }));
+        let spawn = |i: usize| {
+            std::thread::Builder::new()
+                .name(format!("span-worker-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn span worker")
+        };
+        SpanPool {
+            shared,
+            workers: (0..workers).map(spawn).collect(),
+        }
+    }
+
+    /// Runs every closure in `jobs` to completion across the pool's
+    /// lanes (including the calling thread) and returns once all have
+    /// finished. Re-raises the first worker panic, if any.
+    pub(super) fn run<'a>(&self, jobs: &mut [&mut (dyn FnMut() + Send + 'a)]) {
+        if jobs.is_empty() {
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.jobs.is_empty() && st.remaining == 0);
+            st.jobs.clear();
+            for job in jobs.iter_mut() {
+                let ptr: *mut (dyn FnMut() + Send + 'a) = *job;
+                // SAFETY: lifetime erasure, sound because this function
+                // does not return until `remaining == 0` and the job
+                // list is cleared (see the module docs).
+                let ptr: *mut (dyn FnMut() + Send) = unsafe { std::mem::transmute(ptr) };
+                st.jobs.push(JobPtr(ptr));
+            }
+            st.next = 0;
+            st.remaining = st.jobs.len();
+            drop(st);
+            self.shared.work.notify_all();
+        }
+        // The calling thread is a lane: drain the cursor alongside the
+        // workers instead of blocking immediately.
+        drain(self.shared);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.jobs.clear();
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for SpanPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Claims and runs jobs until the cursor is exhausted. Shared by the
+/// workers and the calling thread.
+fn drain(shared: &Shared) {
+    loop {
+        let ptr = {
+            let mut st = shared.state.lock().unwrap();
+            if st.next >= st.jobs.len() {
+                return;
+            }
+            let ptr = st.jobs[st.next].0;
+            st.next += 1;
+            ptr
+        };
+        // SAFETY: exclusively claimed via the cursor; alive until
+        // `run` observes `remaining == 0` (which this job still counts
+        // towards).
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*ptr)() }));
+        let mut st = shared.state.lock().unwrap();
+        if let Err(payload) = result {
+            st.panic.get_or_insert(payload);
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    loop {
+        {
+            let mut st = shared.state.lock().unwrap();
+            while !st.shutdown && st.next >= st.jobs.len() {
+                st = shared.work.wait(st).unwrap();
+            }
+            if st.shutdown {
+                return;
+            }
+        }
+        drain(shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs_and_supports_reuse() {
+        let pool = SpanPool::new(2);
+        for round in 1..=3usize {
+            let counter = AtomicUsize::new(0);
+            let mut jobs: Vec<Box<dyn FnMut() + Send>> = (0..8)
+                .map(|i| {
+                    let counter = &counter;
+                    Box::new(move || {
+                        counter.fetch_add(i + round, Ordering::Relaxed);
+                    }) as Box<dyn FnMut() + Send>
+                })
+                .collect();
+            let mut refs: Vec<&mut (dyn FnMut() + Send)> =
+                jobs.iter_mut().map(|b| &mut **b).collect();
+            pool.run(&mut refs);
+            assert_eq!(counter.load(Ordering::Relaxed), 28 + 8 * round);
+        }
+    }
+
+    #[test]
+    fn borrows_caller_stack_mutably() {
+        let pool = SpanPool::new(1);
+        let mut a = 0u64;
+        let mut b = 0u64;
+        let mut job_a: Box<dyn FnMut() + Send> = Box::new(|| a += 41);
+        let mut job_b: Box<dyn FnMut() + Send> = Box::new(|| b += 1);
+        let mut refs: Vec<&mut (dyn FnMut() + Send)> = vec![&mut *job_a, &mut *job_b];
+        pool.run(&mut refs);
+        drop(job_a);
+        drop(job_b);
+        assert_eq!((a, b), (41, 1));
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = SpanPool::new(1);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut boom: Box<dyn FnMut() + Send> = Box::new(|| panic!("span job failed"));
+            let mut ok: Box<dyn FnMut() + Send> = Box::new(|| {});
+            let mut refs: Vec<&mut (dyn FnMut() + Send)> = vec![&mut *boom, &mut *ok];
+            pool.run(&mut refs);
+        }));
+        assert!(result.is_err(), "the job panic must reach the caller");
+        // The pool must stay usable after a panic round.
+        let mut ran = false;
+        let mut job: Box<dyn FnMut() + Send> = Box::new(|| ran = true);
+        let mut refs: Vec<&mut (dyn FnMut() + Send)> = vec![&mut *job];
+        pool.run(&mut refs);
+        drop(job);
+        assert!(ran);
+    }
+}

@@ -244,20 +244,39 @@ impl GuestWorkload for IoServer {
                 self.current = Some(req);
                 return RunOutcome::ran_all(budget_ns);
             }
-            let dt = (budget_ns - used).min(req.remaining_ns);
-            let profile = self.cfg.profile;
-            let _ = ctx.exec_mem(&profile, dt);
-            used += dt;
-            req.remaining_ns -= dt;
-            self.pending_service_ns -= dt;
-            if req.remaining_ns == 0 {
+            // Service-time batching: sweep every request that fits the
+            // remaining budget into one service-profile chunk — one
+            // `exec_mem` per batch instead of one per request. The
+            // per-request latency stamps are untouched: each is integer
+            // arithmetic on the cumulative used time (`ctx.now + used`),
+            // exactly what the request-at-a-time path appended.
+            let mut batch_dt: u64 = 0;
+            loop {
+                let dt = (budget_ns - used).min(req.remaining_ns);
+                batch_dt += dt;
+                used += dt;
+                req.remaining_ns -= dt;
+                self.pending_service_ns -= dt;
+                if req.remaining_ns > 0 {
+                    // Partial tail: the budget ran out mid-request.
+                    self.current = Some(req);
+                    break;
+                }
                 let done_at = ctx.now + used;
                 self.latencies_ns
                     .add(done_at.saturating_since(req.arrival) as f64);
                 self.completed += 1;
-            } else {
-                self.current = Some(req);
+                match self.queue.pop_front() {
+                    Some(next) if used < budget_ns => req = next,
+                    Some(next) => {
+                        self.current = Some(next);
+                        break;
+                    }
+                    None => break,
+                }
             }
+            let profile = self.cfg.profile;
+            let _ = ctx.exec_mem(&profile, batch_dt);
         }
     }
 
@@ -493,6 +512,81 @@ mod tests {
         );
         assert!(completed <= offered);
         assert!(completed > 1500);
+    }
+
+    #[test]
+    fn batched_latency_samples_match_request_at_a_time_execution() {
+        // Two identical servers carrying the same queued burst; one
+        // serves it in a single span-sized call (the batched path: one
+        // `exec_mem` for all whole requests), the other in
+        // per-request budget slices with the clock advanced between
+        // calls — the request-at-a-time reference. Latency stamps are
+        // integer arithmetic on cumulative used time, so the sample
+        // sets must agree bit for bit.
+        use aql_mem::{LlcState, PmuCounters};
+
+        let cfg = IoServerCfg::mail(500.0); // mixed light/heavy bursts
+        let mut batched = IoServer::new("a", cfg.clone(), 99);
+        let mut reference = IoServer::new("b", cfg, 99);
+        let mut t = SimTime(0);
+        for _ in 0..32 {
+            t = batched.next_timer(0).unwrap();
+            assert_eq!(Some(t), reference.next_timer(0));
+            batched.on_timer(0, t);
+            reference.on_timer(0, t);
+        }
+        assert_eq!(batched.pending_service_ns, reference.pending_service_ns);
+        let total = batched.pending_service_ns;
+        let start = t + 1;
+
+        let spec = CacheSpec::i7_3770();
+        let run_slice = |srv: &mut IoServer, now: SimTime, budget: u64| {
+            let mut llc = LlcState::new(spec.llc_bytes as f64, 1);
+            let mut pmu = PmuCounters::default();
+            let mut warmth = 1.0;
+            let mut rng = aql_sim::rng::SimRng::seed_from(5);
+            let mut ctx = ExecContext {
+                now,
+                spec: &spec,
+                llc: &mut llc,
+                pmu: &mut pmu,
+                l2_warmth: &mut warmth,
+                rng: &mut rng,
+                owner: 0,
+                running_slots: &[true],
+                lean: false,
+                rate_cache: None,
+            };
+            srv.run(0, budget, &mut ctx)
+        };
+
+        // One call serves the whole burst (and batches internally).
+        let out = run_slice(&mut batched, start, total);
+        assert_eq!(out.used_ns, total, "burst should consume its demand");
+
+        // The reference serves one request per call, clock advanced.
+        let mut now = start;
+        while reference.pending_service_ns > 0 {
+            let next_cost = reference
+                .current
+                .map(|r| r.remaining_ns)
+                .unwrap_or_else(|| reference.queue.front().unwrap().remaining_ns);
+            let out = run_slice(&mut reference, now, next_cost);
+            assert_eq!(out.used_ns, next_cost);
+            now += next_cost;
+        }
+
+        assert_eq!(batched.completed, reference.completed);
+        let (WorkloadMetrics::Io { latency: bl, .. }, WorkloadMetrics::Io { latency: rl, .. }) =
+            (batched.metrics(), reference.metrics())
+        else {
+            panic!("expected Io metrics");
+        };
+        assert_eq!(bl.count, rl.count);
+        assert_eq!(bl.mean_ns.to_bits(), rl.mean_ns.to_bits(), "mean");
+        assert_eq!(bl.p95_ns.to_bits(), rl.p95_ns.to_bits(), "p95");
+        assert_eq!(bl.p99_ns.to_bits(), rl.p99_ns.to_bits(), "p99");
+        assert_eq!(bl.max_ns.to_bits(), rl.max_ns.to_bits(), "max");
     }
 
     #[test]

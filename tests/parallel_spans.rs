@@ -1,0 +1,312 @@
+//! The cross-thread determinism harness for parallel span execution.
+//!
+//! A coalesced span may fan its per-socket slot groups out to a
+//! persistent worker pool (`SimulationBuilder::span_workers`). The
+//! contract is stricter than the coalescing tolerance oracle: because
+//! each socket lane runs its slots serially in pCPU order and the
+//! merge back into the scheduler core walks lanes in socket order,
+//! summation order is fixed by *socket index*, never by thread
+//! arrival. Every result — u64 accounting, completions, latency
+//! stamps, dispatch decisions **and** every f64 metric sum — must
+//! therefore be *bit-identical* for every `span_workers` value,
+//! including the serial baseline of 1.
+//!
+//! This suite enforces that bound three ways: a catalog matrix
+//! (single-, dual- and four-socket machines under every span-limiting
+//! policy), a directed engagement check proving the pool actually ran
+//! (so the matrix cannot pass vacuously), and a property test over
+//! random machines, socket counts, workload mixes and run lengths.
+//! Debug builds add the concurrency-contract auditor: every parallel
+//! span arms each socket's LLC with the owners of its lane, so a
+//! cross-lane mutation — the one class of bug the determinism
+//! argument rests on excluding — panics loudly instead of silently
+//! skewing occupancy. The randomized property runs double as the
+//! auditor's stress schedule; a directed test proves it fires.
+
+mod common;
+
+use aql_sched::hv::workload::{
+    CoalesceHint, CoalesceProbe, ExecContext, GuestWorkload, Horizon, RunOutcome, TimerFire,
+    WorkloadMetrics,
+};
+use aql_sched::hv::{MachineSpec, RunReport, SimulationBuilder, TimeMode, VmSpec};
+use aql_sched::mem::{CacheSpec, MemProfile};
+use aql_sched::scenarios::{catalog, policy_applicable, policy_for, run_seeded_full};
+use aql_sched::sim::time::{SimTime, MS};
+use aql_sched::workloads::phased::Phase;
+use aql_sched::workloads::{
+    IdleWorkload, IoServer, IoServerCfg, MemWalk, PhasedMemWalk, SpinJob, SpinJobCfg,
+};
+use proptest::prelude::*;
+
+/// Catalog coverage: two multi-socket regimes where the pool engages
+/// (2 and 4 sockets), plus single-socket scenarios where
+/// `span_workers` must degrade to an exact no-op.
+const SCENARIOS: [&str; 6] = [
+    "solo-calibration",
+    "nightly-lull",
+    "parsec-batch",
+    "spinfarm",
+    "foursocket",
+    "quickstart",
+];
+const POLICIES: [&str; 5] = [
+    "xen-credit",
+    "microsliced",
+    "vslicer",
+    "vturbo",
+    "aql-sched",
+];
+
+#[test]
+fn span_workers_never_move_a_bit_on_the_catalog() {
+    for name in SCENARIOS {
+        let spec = catalog::load(name).expect("catalog entry").quick();
+        for policy in POLICIES {
+            if !policy_applicable(&spec, policy) {
+                continue;
+            }
+            let run = |workers: usize| {
+                let p = policy_for(&spec, policy).expect("known policy");
+                run_seeded_full(&spec, p, spec.seed, TimeMode::Adaptive, true, workers)
+            };
+            let serial = run(1);
+            for workers in [2, 4] {
+                let parallel = run(workers);
+                common::assert_reports_bitwise(
+                    &serial,
+                    &parallel,
+                    &format!("{name}/{policy}/span_workers={workers}"),
+                );
+            }
+        }
+    }
+}
+
+/// One random VM spanning every coalescing class (mirrors the
+/// coalesce-conformance generator): always-linear walkers,
+/// phase-bounded walkers, single- and multi-threaded spin jobs,
+/// service-burst IO servers and idle padding.
+fn random_vm(
+    kind: u64,
+    idx: usize,
+    seed: u64,
+    cache: &CacheSpec,
+) -> (VmSpec, Box<dyn GuestWorkload>) {
+    let name = format!("vm-{idx}");
+    match kind % 8 {
+        0 => (VmSpec::single(&name), Box::new(MemWalk::llcf(&name, cache))),
+        1 => (
+            VmSpec::single(&name),
+            Box::new(MemWalk::lolcf(&name, cache)),
+        ),
+        2 => (VmSpec::single(&name), Box::new(MemWalk::llco(&name, cache))),
+        3 => {
+            let phases = vec![
+                Phase {
+                    duration_ns: 20 * MS + (seed % 17) * MS,
+                    profile: MemProfile::lolcf(cache),
+                },
+                Phase {
+                    duration_ns: 15 * MS + (seed % 11) * MS,
+                    profile: MemProfile::llcf(cache),
+                },
+            ];
+            (
+                VmSpec::single(&name),
+                Box::new(PhasedMemWalk::new(&name, phases)),
+            )
+        }
+        4 => (
+            VmSpec::single(&name),
+            Box::new(SpinJob::new(&name, SpinJobCfg::kernbench(1), seed)),
+        ),
+        5 => {
+            let threads = 2 + (seed as usize % 2);
+            (
+                VmSpec::smp(&name, threads),
+                Box::new(SpinJob::new(&name, SpinJobCfg::kernbench(threads), seed)),
+            )
+        }
+        6 => {
+            let cfg = if seed.is_multiple_of(2) {
+                IoServerCfg::exclusive(40.0 + (seed % 200) as f64)
+            } else {
+                IoServerCfg::heterogeneous(40.0 + (seed % 150) as f64)
+            };
+            (
+                VmSpec::single(&name),
+                Box::new(IoServer::new(&name, cfg, seed)),
+            )
+        }
+        _ => (VmSpec::single(&name), Box::new(IdleWorkload::new(&name, 1))),
+    }
+}
+
+/// Builds, warms and measures one random multi-socket mix; returns the
+/// report and the number of spans that actually ran on the pool.
+#[allow(clippy::too_many_arguments)]
+fn run_random_spanned(
+    sockets: usize,
+    cores: usize,
+    kinds: &[u64],
+    seed: u64,
+    warmup_ns: u64,
+    measure_ns: u64,
+    span_workers: usize,
+) -> (RunReport, u64) {
+    let cache = CacheSpec::i7_3770();
+    let mut b = SimulationBuilder::new(MachineSpec::custom("rand", sockets, cores, cache))
+        .seed(seed)
+        .time_mode(TimeMode::Adaptive)
+        .span_workers(span_workers);
+    for (i, &k) in kinds.iter().enumerate() {
+        let (spec, wl) = random_vm(k, i, seed.wrapping_add(i as u64 * 7919), &cache);
+        b = b.vm(spec, wl);
+    }
+    let mut sim = b.build();
+    sim.run_for(warmup_ns);
+    sim.reset_measurements();
+    sim.run_for(measure_ns);
+    (sim.report(), sim.parallel_span_count())
+}
+
+/// The non-vacuity anchor: two solo linear walkers on a two-socket
+/// machine coalesce constantly, so with `span_workers >= 2` the pool
+/// *must* have executed spans — and the report must still match the
+/// serial baseline bit for bit.
+#[test]
+fn dual_socket_walkers_engage_the_pool_and_stay_bitwise() {
+    let kinds = [1u64, 1]; // two lolcf walkers, one per socket
+    let (serial, serial_spans) = run_random_spanned(2, 1, &kinds, 42, 50 * MS, 400 * MS, 1);
+    assert_eq!(serial_spans, 0, "span_workers=1 must never use the pool");
+    for workers in [2, 4] {
+        let (parallel, spans) = run_random_spanned(2, 1, &kinds, 42, 50 * MS, 400 * MS, workers);
+        assert!(
+            spans > 0,
+            "two busy sockets under span_workers={workers} must fan out \
+             (otherwise this whole suite is vacuous)"
+        );
+        common::assert_reports_bitwise(
+            &serial,
+            &parallel,
+            &format!("dual-socket walkers/span_workers={workers}"),
+        );
+    }
+}
+
+/// On a single-socket machine the knob must cap to one lane: no pool,
+/// no spans, bitwise-equal reports.
+#[test]
+fn single_socket_caps_span_workers_to_a_noop() {
+    let kinds = [1u64, 0];
+    let (serial, _) = run_random_spanned(1, 2, &kinds, 7, 20 * MS, 200 * MS, 1);
+    let (capped, spans) = run_random_spanned(1, 2, &kinds, 7, 20 * MS, 200 * MS, 4);
+    assert_eq!(spans, 0, "one socket can never fan out");
+    common::assert_reports_bitwise(&serial, &capped, "single-socket cap");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For random machines (1–4 sockets), workload mixes, seeds and
+    /// run lengths: every `span_workers` value reproduces the serial
+    /// coalesced run bit for bit. In debug builds each parallel span
+    /// also runs under the armed LLC auditor, so these randomized
+    /// schedules double as the concurrency-contract stress test.
+    #[test]
+    fn random_multi_socket_mixes_stay_bitwise(
+        sockets in 1usize..5,
+        cores in 1usize..3,
+        kinds in prop::collection::vec(0u64..8, 2..7),
+        seed in 1u64..10_000,
+        warmup_ms in 0u64..200,
+        measure_ms in 50u64..500,
+    ) {
+        let (serial, _) = run_random_spanned(
+            sockets, cores, &kinds, seed, warmup_ms * MS, measure_ms * MS, 1,
+        );
+        for workers in [2usize, 4] {
+            let (parallel, _) = run_random_spanned(
+                sockets, cores, &kinds, seed, warmup_ms * MS, measure_ms * MS, workers,
+            );
+            common::assert_reports_bitwise(
+                &serial,
+                &parallel,
+                &format!("random {sockets}x{cores}/span_workers={workers}"),
+            );
+        }
+    }
+}
+
+/// A workload that breaks the one rule the parallel merge rests on:
+/// during its coalesced chunk it mutates LLC state belonging to an
+/// owner outside its socket lane. Conforming behaviour otherwise —
+/// full-budget linear runs, no timers.
+struct CrossLaneMutator {
+    name: String,
+    foreign_owner: usize,
+}
+
+impl GuestWorkload for CrossLaneMutator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn vcpu_slots(&self) -> usize {
+        1
+    }
+    fn run(&mut self, _slot: usize, budget_ns: u64, ctx: &mut ExecContext<'_>) -> RunOutcome {
+        // The contract violation: touching a foreign owner's
+        // freshness. Harmless when unaudited (dense path, serial
+        // spans); a debug-build parallel span panics here.
+        ctx.llc.touch_frac(self.foreign_owner, 1e-9);
+        RunOutcome::ran_all(budget_ns)
+    }
+    fn runnable(&self, _slot: usize) -> bool {
+        true
+    }
+    fn horizon(&self, _slot: usize, _now: SimTime) -> Horizon {
+        Horizon::Never
+    }
+    fn coalesce(&self, _slot: usize, _probe: &mut CoalesceProbe<'_>) -> CoalesceHint {
+        CoalesceHint::LinearFor(u64::MAX)
+    }
+    fn next_timer(&self, _slot: usize) -> Option<SimTime> {
+        None
+    }
+    fn on_timer(&mut self, _slot: usize, _now: SimTime) -> TimerFire {
+        TimerFire::default()
+    }
+    fn metrics(&self) -> WorkloadMetrics {
+        WorkloadMetrics::None
+    }
+}
+
+/// The auditor's loud-failure guarantee at engine level: a cross-lane
+/// LLC mutation inside a parallel span must abort the test run, not
+/// merely skew a float.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "LLC access audit")]
+fn cross_lane_mutation_during_a_parallel_span_panics() {
+    let cache = CacheSpec::i7_3770();
+    let mut sim = SimulationBuilder::new(MachineSpec::custom("dual", 2, 1, cache))
+        .seed(3)
+        .time_mode(TimeMode::Adaptive)
+        .span_workers(2)
+        .vm(
+            VmSpec::single("evil"),
+            Box::new(CrossLaneMutator {
+                name: "evil".into(),
+                // vCPU 1 (the second VM's only vCPU) lands on the
+                // other socket of this 2x1 machine.
+                foreign_owner: 1,
+            }),
+        )
+        .vm(
+            VmSpec::single("peer"),
+            Box::new(MemWalk::lolcf("peer", &cache)),
+        )
+        .build();
+    sim.run_for(aql_sched::sim::time::SEC);
+}
