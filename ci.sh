@@ -136,4 +136,63 @@ diff <(grep -v "^(recorded " /tmp/ci_span_w1.txt) \
      <(grep -v "^(recorded " /tmp/ci_span_w4.txt)
 rm -f /tmp/ci_span_w1.txt /tmp/ci_span_w4.txt
 
+step "fault smoke: a panicking cell is contained, rendered FAIL, and spares its siblings"
+# One healthy scenario next to one whose IO VM panics 30 ms in. The
+# sweep must exit 0 (containment is the contract), render the broken
+# cells as explicit FAILs, list the classified failures, record the
+# count in BENCH_sweep.json (sweep_quick_files2_span_workers1), and
+# keep every healthy row byte-identical to a sweep that never saw the
+# broken scenario. Panic messages land on stderr by design (silenced
+# here); stdout stays deterministic.
+cat > /tmp/ci_fault_ok.scn <<'EOF'
+scenario = fault-ok
+machine = sockets=1 cores=2 cache=i7-3770
+vm web workload=io/heterogeneous/150 seed=42
+vm walk workload=walk/llcf
+EOF
+cat > /tmp/ci_fault_boom.scn <<'EOF'
+scenario = fault-boom
+machine = sockets=1 cores=2 cache=i7-3770
+vm web workload=io/heterogeneous/150 seed=42 fault=panic@30ms
+vm walk workload=walk/llcf
+EOF
+cargo run --release -p aql_experiments --bin sweep -- \
+    --quick --scenario-file /tmp/ci_fault_ok.scn,/tmp/ci_fault_boom.scn \
+    --bench-json BENCH_sweep.json > /tmp/ci_fault_both.txt 2> /dev/null
+grep -q "FAIL" /tmp/ci_fault_both.txt
+grep -q "cell(s) failed (contained)" /tmp/ci_fault_both.txt
+cargo run --release -p aql_experiments --bin sweep -- \
+    --quick --scenario-file /tmp/ci_fault_ok.scn > /tmp/ci_fault_clean.txt 2> /dev/null
+# Column padding tracks the widest scenario name in each table, so
+# squeeze runs of spaces before the diff: every surviving cell value
+# must be identical.
+diff <(grep "^fault-ok" /tmp/ci_fault_both.txt | tr -s ' ') \
+     <(grep "^fault-ok" /tmp/ci_fault_clean.txt | tr -s ' ')
+rm -f /tmp/ci_fault_both.txt /tmp/ci_fault_clean.txt /tmp/ci_fault_boom.scn
+
+step "resume smoke: a partial journal resumes to a byte-identical sweep"
+# Seed the journal with the first scenario only, then resume a
+# two-scenario sweep against it: the journaled cells are skipped (the
+# journal grows by exactly the second scenario's cells) and the
+# rendered output is byte-identical to a journal-free run.
+cat > /tmp/ci_resume_b.scn <<'EOF'
+scenario = resume-b
+machine = sockets=1 cores=2 cache=i7-3770
+vm spin workload=spin/kernbench/4
+vm walk workload=walk/llco
+EOF
+rm -f /tmp/ci_resume.jsonl
+cargo run --release -p aql_experiments --bin sweep -- \
+    --quick --scenario-file /tmp/ci_fault_ok.scn \
+    --journal /tmp/ci_resume.jsonl > /dev/null
+cargo run --release -p aql_experiments --bin sweep -- \
+    --quick --scenario-file /tmp/ci_fault_ok.scn,/tmp/ci_resume_b.scn \
+    --journal /tmp/ci_resume.jsonl --resume > /tmp/ci_resumed.txt
+cargo run --release -p aql_experiments --bin sweep -- \
+    --quick --scenario-file /tmp/ci_fault_ok.scn,/tmp/ci_resume_b.scn \
+    > /tmp/ci_fresh.txt
+diff /tmp/ci_fresh.txt /tmp/ci_resumed.txt
+rm -f /tmp/ci_fault_ok.scn /tmp/ci_resume_b.scn /tmp/ci_resume.jsonl \
+      /tmp/ci_resumed.txt /tmp/ci_fresh.txt
+
 step "all checks passed"

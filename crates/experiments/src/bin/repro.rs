@@ -34,6 +34,15 @@
 //!   --bench-json PATH record this invocation's wall time under a
 //!                     "repro_…" key in the given JSON file (the CI
 //!                     smoke tracks BENCH_sweep.json)
+//!   --max-cell-wall D wall-clock budget per experiment cell
+//!                     (`30s`, `500ms`, …; default: unlimited)
+//!   --retries N       retry environmental (wall-budget) cell
+//!                     failures up to N times (default: 0)
+//!   --journal PATH    append finished cells to a crash-safe JSONL
+//!                     journal
+//!   --resume          skip cells already in the journal (probe cells
+//!                     always re-run); output is byte-identical to a
+//!                     clean run
 //! ```
 //!
 //! Each table is printed to stdout and saved as CSV under `results/`.
@@ -94,7 +103,9 @@ const ALL: [&str; 14] = [
 fn usage() {
     eprintln!(
         "usage: repro [--quick] [--threads N] [--span-workers N] \
-         [--time-mode adaptive|dense] [--bench-json PATH] <command>..."
+         [--time-mode adaptive|dense] [--bench-json PATH] \
+         [--max-cell-wall DUR] [--retries N] [--journal PATH] [--resume] \
+         <command>..."
     );
     eprintln!("commands: {} | all", ALL.join(" | "));
     eprintln!("          fig2a..fig2f fig2lock (individual panels)");
@@ -164,9 +175,52 @@ fn main() -> ExitCode {
                 };
                 bench_json = Some(v);
             }
+            "--max-cell-wall" => {
+                let Some(v) = take_value(&mut args, i, "--max-cell-wall") else {
+                    return ExitCode::FAILURE;
+                };
+                match aql_sim::time::parse_dur(&v) {
+                    Some(ns) => opts.max_cell_wall = Some(std::time::Duration::from_nanos(ns)),
+                    None => {
+                        eprintln!("error: --max-cell-wall: bad duration '{v}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--retries" => {
+                let Some(v) = take_value(&mut args, i, "--retries") else {
+                    return ExitCode::FAILURE;
+                };
+                match v.parse() {
+                    Ok(n) => opts.retries = n,
+                    Err(_) => {
+                        eprintln!("error: --retries needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--journal" => {
+                let Some(v) = take_value(&mut args, i, "--journal") else {
+                    return ExitCode::FAILURE;
+                };
+                opts.journal = Some(v.into());
+            }
+            "--resume" => {
+                opts.resume = true;
+                args.remove(i);
+            }
             _ => i += 1,
         }
     }
+    if opts.resume && opts.journal.is_none() {
+        eprintln!("error: --resume requires --journal");
+        return ExitCode::FAILURE;
+    }
+    // A figure fold needs every applicable cell's report — there is no
+    // `FAIL` rendering here like the sweep table has — so a failed
+    // cell (blown wall budget, livelock, panic) aborts the artifact
+    // with its classification instead of panicking mid-fold.
+    opts.fail_fast = true;
     if args.is_empty() {
         usage();
         return ExitCode::FAILURE;
@@ -179,10 +233,24 @@ fn main() -> ExitCode {
     let t0 = std::time::Instant::now();
     for c in &cmds {
         eprintln!(">> {c}{}", if quick { " (quick)" } else { "" });
-        match run(c, quick, &opts) {
-            Ok(tables) => save_and_print(&tables),
-            Err(e) => {
+        // `fail_fast` surfaces a failed cell by re-raising it out of
+        // the plan executor; catch it here and report the classified
+        // failure (`resume_unwind` payloads bypass the panic hook, so
+        // without this the process would die silently).
+        let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(c, quick, &opts)));
+        match ran {
+            Ok(Ok(tables)) => save_and_print(&tables),
+            Ok(Err(e)) => {
                 eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("cell panicked");
+                eprintln!("error: {c}: {msg}");
                 return ExitCode::FAILURE;
             }
         }

@@ -27,11 +27,31 @@
 //!   --bench-json PATH   with `both`, write the timing comparison as
 //!                       JSON (the CI perf-smoke writes
 //!                       BENCH_sweep.json); otherwise record this
-//!                       run's wall time under a
+//!                       run's wall time (and failure count) under a
 //!                       `sweep[_quick]_span_workersN` key
+//!   --scenario-file F   sweep scenario documents parsed from the
+//!                       given files (comma-separated) instead of the
+//!                       catalog; combine with --scenarios to add
+//!                       catalog entries too
+//!   --max-cell-wall D   wall-clock budget per cell attempt
+//!                       (`250ms`, `30s`, …; default: unlimited)
+//!   --retries N         retry environmental (wall-budget) cell
+//!                       failures up to N times (default: 0)
+//!   --journal PATH      append finished cells to a crash-safe JSONL
+//!                       journal
+//!   --resume            skip cells already in the journal; the table
+//!                       is byte-identical to a clean run
+//!   --fail-fast         abort on the first cell failure instead of
+//!                       rendering FAIL
 //!   --list              print the catalog and exit
 //!   --show NAME         print a scenario document and exit
 //! ```
+//!
+//! A failed cell (injected fault, livelock, blown budget) never takes
+//! the sweep down: it renders as `FAIL`, its classification is printed
+//! after the table, and every surviving row is byte-identical to a
+//! sweep without the broken cell. Exit code stays 0 — containment is
+//! the contract; use `--fail-fast` to turn failures back into aborts.
 //!
 //! The emitted table is byte-identical across repeated same-seed runs
 //! and across `--threads` values; per-replicate seeds derive from the
@@ -41,15 +61,18 @@
 use std::process::ExitCode;
 
 use aql_experiments::emit::{save_and_print, update_bench_json};
-use aql_experiments::sweep::{run_sweep, SweepConfig, SweepOutcome};
-use aql_scenarios::{catalog, TimeMode};
+use aql_experiments::sweep::{run_sweep, run_sweep_on, SweepConfig, SweepOutcome};
+use aql_scenarios::{catalog, ScenarioSpec, TimeMode};
 
 fn usage() -> String {
     format!(
-        "usage: sweep [--scenarios a,b,c] [--policies a,b] [--seeds N] \
+        "usage: sweep [--scenarios a,b,c] [--scenario-file f.scn,g.scn] \
+         [--policies a,b] [--seeds N] \
          [--threads N] [--span-workers N] [--quick] \
          [--time-mode adaptive|dense|both] [--oracle-sample N] \
-         [--oracle-seed S] [--bench-json PATH] [--list] [--show NAME]\n\
+         [--oracle-seed S] [--bench-json PATH] [--max-cell-wall DUR] \
+         [--retries N] [--journal PATH] [--resume] [--fail-fast] \
+         [--list] [--show NAME]\n\
          scenarios: {}\n\
          policies:  {}",
         catalog::names().join(", "),
@@ -130,6 +153,11 @@ fn bench_json(
 /// (`--time-mode both` + optional JSON output path).
 struct Cli {
     names: Vec<String>,
+    /// `--scenarios` was given explicitly (vs. the full-catalog
+    /// default); decides whether catalog entries join `file_specs`.
+    names_explicit: bool,
+    /// Scenario documents loaded from `--scenario-file`.
+    file_specs: Vec<ScenarioSpec>,
     cfg: SweepConfig,
     ran_meta: bool,
     compare_modes: bool,
@@ -159,6 +187,8 @@ fn sample_rotation(names: &[String], sample: usize, seed: u64) -> Vec<String> {
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cfg = SweepConfig::default();
     let mut names: Vec<String> = catalog::names().iter().map(|s| s.to_string()).collect();
+    let mut names_explicit = false;
+    let mut file_specs: Vec<ScenarioSpec> = Vec::new();
     let mut it = args.iter();
     let mut ran_meta = false;
     let mut compare_modes = false;
@@ -177,6 +207,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .split(',')
                     .map(str::to_string)
                     .collect();
+                names_explicit = true;
+            }
+            "--scenario-file" => {
+                for path in value("--scenario-file")?.split(',') {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read scenario file {path}: {e}"))?;
+                    file_specs
+                        .push(ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?);
+                }
             }
             "--policies" => {
                 cfg.policies = value("--policies")?
@@ -213,6 +252,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
             },
             "--bench-json" => bench_json = Some(value("--bench-json")?),
+            "--max-cell-wall" => {
+                let v = value("--max-cell-wall")?;
+                let ns = aql_sim::time::parse_dur(&v)
+                    .ok_or_else(|| format!("--max-cell-wall: bad duration '{v}'"))?;
+                cfg.max_cell_wall = Some(std::time::Duration::from_nanos(ns));
+            }
+            "--retries" => {
+                cfg.retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "--retries needs a number".to_string())?;
+            }
+            "--journal" => cfg.journal = Some(value("--journal")?.into()),
+            "--resume" => cfg.resume = true,
+            "--fail-fast" => cfg.fail_fast = true,
             "--oracle-sample" => {
                 oracle_sample = value("--oracle-sample")?
                     .parse()
@@ -255,8 +308,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     dense-oracle comparison matrix)"
             .to_string());
     }
+    if compare_modes && !file_specs.is_empty() {
+        return Err("--scenario-file cannot combine with --time-mode both".to_string());
+    }
+    if cfg.resume && cfg.journal.is_none() {
+        return Err("--resume requires --journal".to_string());
+    }
     Ok(Cli {
         names,
+        names_explicit,
+        file_specs,
         cfg,
         ran_meta,
         compare_modes,
@@ -360,18 +421,53 @@ fn main() -> ExitCode {
             }
         };
     }
-    match run_sweep(&cli.names, &cli.cfg) {
+    let ran = if cli.file_specs.is_empty() {
+        run_sweep(&cli.names, &cli.cfg)
+    } else {
+        // File-provided documents replace the catalog default; an
+        // explicit --scenarios list joins them.
+        let mut specs = cli.file_specs.clone();
+        if cli.names_explicit {
+            match cli
+                .names
+                .iter()
+                .map(|n| catalog::load(n).ok_or_else(|| format!("unknown scenario '{n}'")))
+                .collect::<Result<Vec<_>, _>>()
+            {
+                Ok(named) => specs.extend(named),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        run_sweep_on(&specs, &cli.cfg)
+    };
+    match ran {
         Ok(outcome) => {
             save_and_print(std::slice::from_ref(&outcome.table));
+            let failures = outcome.failures();
+            if !failures.is_empty() {
+                println!("\n{} cell(s) failed (contained):", failures.len());
+                for f in &failures {
+                    println!("  {f}");
+                }
+            }
             if let Some(path) = &cli.bench_json {
                 // Plain-mode benchmark record: one key per
-                // (quick, span-workers, time-mode) shape, so the CI
-                // span-scaling smoke can log `span_workers` 1 and 4
-                // side by side without touching the mode-comparison
-                // columns.
+                // (quick, scenario-files, span-workers, time-mode)
+                // shape, so the CI span-scaling smoke can log
+                // `span_workers` 1 and 4 side by side and the
+                // fault-injection smoke (file-driven) cannot clobber
+                // either record.
                 let key = format!(
-                    "sweep_{}span_workers{}{}",
+                    "sweep_{}{}span_workers{}{}",
                     if cli.cfg.quick { "quick_" } else { "" },
+                    if cli.file_specs.is_empty() {
+                        String::new()
+                    } else {
+                        format!("files{}_", cli.file_specs.len())
+                    },
                     cli.cfg.span_workers,
                     if cli.cfg.time_mode == TimeMode::Dense {
                         "_dense"
@@ -379,10 +475,18 @@ fn main() -> ExitCode {
                         ""
                     }
                 );
+                let scenario_count = if cli.file_specs.is_empty() {
+                    cli.names.len()
+                } else if cli.names_explicit {
+                    cli.file_specs.len() + cli.names.len()
+                } else {
+                    cli.file_specs.len()
+                };
                 let value = format!(
-                    "{{\"scenarios\": {}, \"wall_ms\": {:.3}}}",
-                    cli.names.len(),
-                    outcome.total_wall_ns() as f64 / 1e6
+                    "{{\"scenarios\": {}, \"wall_ms\": {:.3}, \"failed_cells\": {}}}",
+                    scenario_count,
+                    outcome.total_wall_ns() as f64 / 1e6,
+                    outcome.failures().len()
                 );
                 if let Err(e) = update_bench_json(std::path::Path::new(path), &key, &value) {
                     eprintln!("warning: could not update {path}: {e}");

@@ -1,0 +1,672 @@
+//! Crash-safe sweep journal: append-only JSONL of completed cells.
+//!
+//! Each line records one finished cell — its identity `(scenario,
+//! policy, seed)`, a config fingerprint, and the full [`RunReport`] —
+//! so an interrupted sweep can resume without re-running finished
+//! work ([`crate::plan::execute`] with `resume`). Two properties make
+//! the resume *byte-identical* to a clean run:
+//!
+//! 1. **Bit-exact round-trip.** Every `f64` is stored as its IEEE-754
+//!    bit pattern (a `u64`), never as decimal text: the report read
+//!    back is the report written, to the last bit, so tables rendered
+//!    from journaled cells cannot drift from freshly computed ones.
+//! 2. **Fingerprinted identity.** A line only matches a cell if its
+//!    FNV-1a fingerprint over `(scenario text, policy token, base
+//!    seed, time mode, coalesce)` matches too — a journal written
+//!    under different settings (or an edited scenario) is silently
+//!    ignored for the changed cells rather than poisoning the run.
+//!
+//! Appends are line-buffered and flushed per cell; a crash mid-write
+//! can only tear the *final* line, which [`load`] tolerates (the torn
+//! cell simply re-runs). There is no serde in this offline
+//! environment, so the module carries its own minimal JSON codec —
+//! objects, arrays, strings and unsigned integers are all the format
+//! needs.
+
+use std::fs;
+use std::path::Path;
+
+use aql_hv::{LatencySummary, RunReport, VmId, VmReport, WorkloadMetrics};
+
+/// One journaled cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Config fingerprint (see [`fingerprint`]).
+    pub fp: u64,
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy token.
+    pub policy: String,
+    /// Base seed the cell ran at.
+    pub seed: u64,
+    /// Wall time the original run took (ns); informational.
+    pub wall_ns: u64,
+    /// The cell's full report.
+    pub report: RunReport,
+}
+
+/// FNV-1a over everything that determines a cell's result: the
+/// scenario's canonical text, the policy token, the base seed, and the
+/// executor's time-mode/coalesce configuration. Two cells with equal
+/// fingerprints (and equal identity keys) would produce bit-identical
+/// reports, which is what licenses the resume skip.
+pub fn fingerprint(
+    spec_text: &str,
+    policy: &str,
+    base_seed: u64,
+    time_mode_label: &str,
+    coalesce: bool,
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(spec_text.as_bytes());
+    eat(&[0]);
+    eat(policy.as_bytes());
+    eat(&[0]);
+    eat(&base_seed.to_le_bytes());
+    eat(time_mode_label.as_bytes());
+    eat(&[coalesce as u8]);
+    h
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + codec.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(u64),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Str(s) => write_str(s, out),
+            Json::Num(n) => out.push_str(&n.to_string()),
+        }
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("journal JSON: {what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.fail(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            _ => self.fail("expected a value"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return self.fail("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.fail("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.fail("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.fail("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.fail("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through intact:
+                    // consume the whole char, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| format!("journal JSON: bad number '{text}'"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report <-> JSON mapping. f64 fields travel as IEEE-754 bit patterns.
+// ---------------------------------------------------------------------
+
+fn f64_bits(x: f64) -> Json {
+    Json::Num(x.to_bits())
+}
+
+fn bits_f64(j: Option<&Json>, what: &str) -> Result<f64, String> {
+    j.and_then(Json::num)
+        .map(f64::from_bits)
+        .ok_or_else(|| format!("journal: missing or malformed '{what}'"))
+}
+
+fn need_num(j: Option<&Json>, what: &str) -> Result<u64, String> {
+    j.and_then(Json::num)
+        .ok_or_else(|| format!("journal: missing or malformed '{what}'"))
+}
+
+fn need_str(j: Option<&Json>, what: &str) -> Result<String, String> {
+    j.and_then(Json::str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("journal: missing or malformed '{what}'"))
+}
+
+fn num_arr(j: Option<&Json>, what: &str) -> Result<Vec<u64>, String> {
+    j.and_then(Json::arr)
+        .and_then(|items| items.iter().map(|v| v.num()).collect::<Option<Vec<_>>>())
+        .ok_or_else(|| format!("journal: missing or malformed '{what}'"))
+}
+
+fn metrics_to_json(m: &WorkloadMetrics) -> Json {
+    let f = |k: &str| k.to_string();
+    match m {
+        WorkloadMetrics::Io {
+            latency,
+            completed,
+            offered,
+        } => Json::Obj(vec![
+            (f("kind"), Json::Str("io".into())),
+            (f("count"), Json::Num(latency.count)),
+            (f("mean"), f64_bits(latency.mean_ns)),
+            (f("p95"), f64_bits(latency.p95_ns)),
+            (f("p99"), f64_bits(latency.p99_ns)),
+            (f("max"), f64_bits(latency.max_ns)),
+            (f("nan"), Json::Num(latency.nan_samples)),
+            (f("completed"), Json::Num(*completed)),
+            (f("offered"), Json::Num(*offered)),
+        ]),
+        WorkloadMetrics::Spin {
+            work_items,
+            lock_hold_mean_ns,
+            lock_hold_max_ns,
+            lock_wait_mean_ns,
+            spin_ns,
+        } => Json::Obj(vec![
+            (f("kind"), Json::Str("spin".into())),
+            (f("work_items"), Json::Num(*work_items)),
+            (f("hold_mean"), f64_bits(*lock_hold_mean_ns)),
+            (f("hold_max"), f64_bits(*lock_hold_max_ns)),
+            (f("wait_mean"), f64_bits(*lock_wait_mean_ns)),
+            (f("spin_ns"), Json::Num(*spin_ns)),
+        ]),
+        WorkloadMetrics::Mem { instructions } => Json::Obj(vec![
+            (f("kind"), Json::Str("mem".into())),
+            (f("instructions"), f64_bits(*instructions)),
+        ]),
+        WorkloadMetrics::None => Json::Obj(vec![(f("kind"), Json::Str("none".into()))]),
+    }
+}
+
+fn metrics_from_json(j: &Json) -> Result<WorkloadMetrics, String> {
+    let kind = need_str(j.get("kind"), "metrics.kind")?;
+    match kind.as_str() {
+        "io" => Ok(WorkloadMetrics::Io {
+            latency: LatencySummary {
+                count: need_num(j.get("count"), "io.count")?,
+                mean_ns: bits_f64(j.get("mean"), "io.mean")?,
+                p95_ns: bits_f64(j.get("p95"), "io.p95")?,
+                p99_ns: bits_f64(j.get("p99"), "io.p99")?,
+                max_ns: bits_f64(j.get("max"), "io.max")?,
+                nan_samples: need_num(j.get("nan"), "io.nan")?,
+            },
+            completed: need_num(j.get("completed"), "io.completed")?,
+            offered: need_num(j.get("offered"), "io.offered")?,
+        }),
+        "spin" => Ok(WorkloadMetrics::Spin {
+            work_items: need_num(j.get("work_items"), "spin.work_items")?,
+            lock_hold_mean_ns: bits_f64(j.get("hold_mean"), "spin.hold_mean")?,
+            lock_hold_max_ns: bits_f64(j.get("hold_max"), "spin.hold_max")?,
+            lock_wait_mean_ns: bits_f64(j.get("wait_mean"), "spin.wait_mean")?,
+            spin_ns: need_num(j.get("spin_ns"), "spin.spin_ns")?,
+        }),
+        "mem" => Ok(WorkloadMetrics::Mem {
+            instructions: bits_f64(j.get("instructions"), "mem.instructions")?,
+        }),
+        "none" => Ok(WorkloadMetrics::None),
+        other => Err(format!("journal: unknown metrics kind '{other}'")),
+    }
+}
+
+fn report_to_json(r: &RunReport) -> Json {
+    Json::Obj(vec![
+        ("sim_ns".into(), Json::Num(r.sim_ns)),
+        ("policy".into(), Json::Str(r.policy.clone())),
+        (
+            "pcpu_busy_ns".into(),
+            Json::Arr(r.pcpu_busy_ns.iter().map(|&n| Json::Num(n)).collect()),
+        ),
+        (
+            "vms".into(),
+            Json::Arr(
+                r.vms
+                    .iter()
+                    .map(|vm| {
+                        Json::Obj(vec![
+                            ("vm".into(), Json::Num(vm.vm.index() as u64)),
+                            ("name".into(), Json::Str(vm.name.clone())),
+                            (
+                                "cpu".into(),
+                                Json::Arr(vm.vcpu_cpu_ns.iter().map(|&n| Json::Num(n)).collect()),
+                            ),
+                            (
+                                "mig".into(),
+                                Json::Arr(
+                                    vm.vcpu_pool_migrations
+                                        .iter()
+                                        .map(|&n| Json::Num(n))
+                                        .collect(),
+                                ),
+                            ),
+                            ("metrics".into(), metrics_to_json(&vm.metrics)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn report_from_json(j: &Json) -> Result<RunReport, String> {
+    let vms = j
+        .get("vms")
+        .and_then(Json::arr)
+        .ok_or("journal: missing 'vms'")?
+        .iter()
+        .map(|vj| {
+            Ok(VmReport {
+                vm: VmId(need_num(vj.get("vm"), "vm.vm")? as usize),
+                name: need_str(vj.get("name"), "vm.name")?,
+                vcpu_cpu_ns: num_arr(vj.get("cpu"), "vm.cpu")?,
+                vcpu_pool_migrations: num_arr(vj.get("mig"), "vm.mig")?,
+                metrics: metrics_from_json(vj.get("metrics").ok_or("journal: missing 'metrics'")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RunReport {
+        sim_ns: need_num(j.get("sim_ns"), "report.sim_ns")?,
+        policy: need_str(j.get("policy"), "report.policy")?,
+        vms,
+        pcpu_busy_ns: num_arr(j.get("pcpu_busy_ns"), "report.pcpu_busy_ns")?,
+    })
+}
+
+/// Encodes one entry as a single JSONL line (no trailing newline).
+pub fn encode(e: &JournalEntry) -> String {
+    let doc = Json::Obj(vec![
+        ("v".into(), Json::Num(1)),
+        ("fp".into(), Json::Num(e.fp)),
+        ("scenario".into(), Json::Str(e.scenario.clone())),
+        ("policy".into(), Json::Str(e.policy.clone())),
+        ("seed".into(), Json::Num(e.seed)),
+        ("wall_ns".into(), Json::Num(e.wall_ns)),
+        ("report".into(), report_to_json(&e.report)),
+    ]);
+    let mut out = String::new();
+    doc.write(&mut out);
+    out
+}
+
+/// Decodes one JSONL line.
+pub fn decode(line: &str) -> Result<JournalEntry, String> {
+    let mut p = Parser::new(line);
+    let doc = p.value()?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err("journal: trailing garbage after JSON value".to_string());
+    }
+    if need_num(doc.get("v"), "v")? != 1 {
+        return Err("journal: unsupported version".to_string());
+    }
+    Ok(JournalEntry {
+        fp: need_num(doc.get("fp"), "fp")?,
+        scenario: need_str(doc.get("scenario"), "scenario")?,
+        policy: need_str(doc.get("policy"), "policy")?,
+        seed: need_num(doc.get("seed"), "seed")?,
+        wall_ns: need_num(doc.get("wall_ns"), "wall_ns")?,
+        report: report_from_json(doc.get("report").ok_or("journal: missing 'report'")?)?,
+    })
+}
+
+/// Loads a journal file. A missing file is an empty journal. A
+/// malformed **final** line is tolerated (a crash can tear the last
+/// append); a malformed line anywhere else is corruption and errors.
+pub fn load(path: &Path) -> Result<Vec<JournalEntry>, String> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
+    };
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match decode(line) {
+            Ok(entry) => out.push(entry),
+            Err(_) if i + 1 == lines.len() => break, // torn final append
+            Err(e) => {
+                return Err(format!(
+                    "corrupt journal {} line {}: {e}",
+                    path.display(),
+                    i + 1
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> JournalEntry {
+        JournalEntry {
+            fp: 0xdead_beef_cafe_f00d,
+            scenario: "smoke \"quoted\"".to_string(),
+            policy: "aql-sched".to_string(),
+            seed: 7,
+            wall_ns: 123_456,
+            report: RunReport {
+                sim_ns: 1_000_000,
+                policy: "aql-sched".to_string(),
+                vms: vec![
+                    VmReport {
+                        vm: VmId(0),
+                        name: "web-0".to_string(),
+                        vcpu_cpu_ns: vec![400, 600],
+                        vcpu_pool_migrations: vec![1, 0],
+                        metrics: WorkloadMetrics::Io {
+                            latency: LatencySummary {
+                                count: 42,
+                                mean_ns: 0.1 + 0.2, // not exactly representable
+                                p95_ns: 1e9,
+                                p99_ns: f64::MAX,
+                                max_ns: 5.5e9,
+                                nan_samples: 0,
+                            },
+                            completed: 42,
+                            offered: 45,
+                        },
+                    },
+                    VmReport {
+                        vm: VmId(1),
+                        name: "walk".to_string(),
+                        vcpu_cpu_ns: vec![999],
+                        vcpu_pool_migrations: vec![0],
+                        metrics: WorkloadMetrics::Mem {
+                            instructions: 1.234567890123e12,
+                        },
+                    },
+                ],
+                pcpu_busy_ns: vec![1999, 0],
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let e = entry();
+        let line = encode(&e);
+        assert!(!line.contains('\n'));
+        let back = decode(&line).unwrap();
+        assert_eq!(back, e);
+        // f64s travel as bit patterns: compare the bits explicitly too.
+        let (a, b) = (&e.report.vms[0].metrics, &back.report.vms[0].metrics);
+        match (a, b) {
+            (WorkloadMetrics::Io { latency: la, .. }, WorkloadMetrics::Io { latency: lb, .. }) => {
+                assert_eq!(la.mean_ns.to_bits(), lb.mean_ns.to_bits());
+                assert_eq!(la.p99_ns.to_bits(), lb.p99_ns.to_bits());
+            }
+            _ => panic!("metrics kind changed in round-trip"),
+        }
+    }
+
+    #[test]
+    fn nan_metrics_round_trip() {
+        let mut e = entry();
+        e.report.vms[1].metrics = WorkloadMetrics::Mem {
+            instructions: f64::NAN,
+        };
+        let back = decode(&encode(&e)).unwrap();
+        match back.report.vms[1].metrics {
+            WorkloadMetrics::Mem { instructions } => assert!(instructions.is_nan()),
+            _ => panic!("kind changed"),
+        }
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated() {
+        let dir = std::env::temp_dir().join("aql_journal_test_torn");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("j.jsonl");
+        let e = entry();
+        let mut text = encode(&e);
+        text.push('\n');
+        text.push_str(&encode(&e)[..40]); // torn mid-append
+        fs::write(&path, &text).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0], e);
+        // Corruption before the final line is an error, not a skip.
+        let mut bad = String::from("{\"v\":1,broken}\n");
+        bad.push_str(&encode(&e));
+        bad.push('\n');
+        fs::write(&path, &bad).unwrap();
+        assert!(load(&path).is_err());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let path = Path::new("/nonexistent/definitely/absent.jsonl");
+        assert_eq!(load(path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let a = fingerprint("spec", "xen-credit", 1, "adaptive", true);
+        assert_eq!(a, fingerprint("spec", "xen-credit", 1, "adaptive", true));
+        assert_ne!(a, fingerprint("spec", "xen-credit", 2, "adaptive", true));
+        assert_ne!(a, fingerprint("spec", "xen-credit", 1, "dense", true));
+        assert_ne!(a, fingerprint("spec", "xen-credit", 1, "adaptive", false));
+        assert_ne!(a, fingerprint("spec2", "xen-credit", 1, "adaptive", true));
+        assert_ne!(a, fingerprint("spec", "vturbo", 1, "adaptive", true));
+    }
+}

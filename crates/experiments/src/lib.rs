@@ -42,10 +42,13 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod journal;
 pub mod plan;
 pub mod sweep;
 pub mod tables;
 
 pub use emit::Table;
-pub use plan::{execute, CellResult, ExecOpts, PlanCell, Probe, ProbeOut};
+pub use plan::{
+    execute, CellFailure, CellResult, ExecOpts, FailureKind, PlanCell, Probe, ProbeOut,
+};
 pub use sweep::{run_sweep, run_sweep_on, SweepConfig, SweepOutcome};

@@ -25,14 +25,41 @@
 //! A [`Probe`] names what to extract; the executor downcasts the
 //! policy there and ships plain data ([`ProbeOut`]) back, keeping
 //! [`CellResult`] `Send` without making simulations so.
+//!
+//! # Fault isolation
+//!
+//! Each cell is a failure domain. A worker wraps the cell's whole
+//! build-run-probe body in `catch_unwind` and runs it under a
+//! [`RunBudget`] with the livelock and invariant sentinels armed, so
+//! a panicking, hanging or account-corrupting cell becomes a
+//! classified [`CellFailure`] in its own slot while every sibling
+//! cell's report stays bit-identical to a fault-free run (the
+//! simulation is already a pure function of its cell, so containment
+//! costs nothing). Environmental failures (wall-budget trips) retry
+//! with exponential backoff up to [`ExecOpts::retries`]; determinis-
+//! tic failures (panic, livelock, invariant violation) never retry —
+//! rerunning a pure function cannot change its answer. Setting
+//! [`ExecOpts::fail_fast`] restores the old re-raise behaviour for
+//! CI gates that prefer an abort to a partial table. With a journal
+//! path configured, finished probe-less cells append to a crash-safe
+//! JSONL journal ([`crate::journal`]) and `resume` prefills matching
+//! slots from it, byte-identical to a clean run.
 
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
 
 use aql_core::AqlSched;
 use aql_hv::apptype::VcpuType;
-use aql_hv::{RunReport, Simulation, TimeMode};
+use aql_hv::{EngineError, RunBudget, RunReport, Simulation, TimeMode};
 use aql_scenarios::{build_sim_seeded_full, parse_policy, ScenarioSpec};
+
+use crate::journal::{self, JournalEntry};
 
 /// Policy-internal state to extract from a cell's simulation before
 /// it is dropped (see the module docs).
@@ -125,10 +152,12 @@ impl PlanCell {
     }
 }
 
-/// How to execute a plan. The choice never affects emitted tables —
-/// only wall time. The default is every core in the default
-/// ([`TimeMode::Adaptive`]) time mode.
-#[derive(Debug, Clone, Copy)]
+/// How to execute a plan. None of the choices affect what a healthy
+/// cell emits — only wall time and what happens to *unhealthy* cells.
+/// The default is every core in the default ([`TimeMode::Adaptive`])
+/// time mode, failures contained, no wall budget, no retries, no
+/// journal.
+#[derive(Debug, Clone)]
 pub struct ExecOpts {
     /// Worker threads; `0` uses the host's available parallelism.
     pub threads: usize,
@@ -145,6 +174,29 @@ pub struct ExecOpts {
     /// latency on multi-socket machines. Results are byte-identical
     /// for every value.
     pub span_workers: usize,
+    /// Re-raise the first cell failure instead of recording it —
+    /// the pre-containment behaviour, for CI gates that prefer an
+    /// abort to a partial table. A contained panic's original payload
+    /// is re-thrown verbatim.
+    pub fail_fast: bool,
+    /// Wall-clock budget for one cell attempt; `None` (default) means
+    /// a cell may take as long as it likes. Trips as
+    /// [`FailureKind::WallBudget`], the only *environmental* —
+    /// retryable — failure class.
+    pub max_cell_wall: Option<Duration>,
+    /// How many times to retry a cell after an environmental failure
+    /// (exponential backoff between attempts). Deterministic failures
+    /// never retry regardless.
+    pub retries: u32,
+    /// Append finished probe-less cells to this JSONL journal
+    /// ([`crate::journal`]); flushed per cell, so a crash loses at
+    /// most the line being written.
+    pub journal: Option<PathBuf>,
+    /// Prefill cells already present in the journal (matched by
+    /// identity *and* config fingerprint) instead of re-running them.
+    /// Requires `journal`. The resumed table is byte-identical to a
+    /// clean run because reports round-trip bit-exactly.
+    pub resume: bool,
 }
 
 impl Default for ExecOpts {
@@ -154,6 +206,11 @@ impl Default for ExecOpts {
             time_mode: TimeMode::default(),
             coalesce: true,
             span_workers: 1,
+            fail_fast: false,
+            max_cell_wall: None,
+            retries: 0,
+            journal: None,
+            resume: false,
         }
     }
 }
@@ -168,17 +225,92 @@ impl ExecOpts {
     }
 }
 
+/// Why a cell failed, coarsely — the axis the retry policy pivots on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The cell's thread panicked (workload bug, policy bug).
+    Panic,
+    /// The livelock sentinel tripped: a vCPU kept demanding CPU
+    /// without ever advancing ([`EngineError::Livelock`]).
+    Livelock,
+    /// The wall-clock budget expired ([`ExecOpts::max_cell_wall`]).
+    WallBudget,
+    /// The finished report violated an accounting invariant
+    /// (drifted sums, non-finite metrics).
+    Invariant,
+}
+
+impl FailureKind {
+    /// Short lower-case label (`panic`, `livelock`, `wall-budget`,
+    /// `invariant`) for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Livelock => "livelock",
+            FailureKind::WallBudget => "wall-budget",
+            FailureKind::Invariant => "invariant",
+        }
+    }
+
+    /// Whether retrying could plausibly change the outcome. Only the
+    /// wall budget depends on the host rather than the (pure,
+    /// deterministic) simulation, so only it is environmental.
+    pub fn is_environmental(self) -> bool {
+        matches!(self, FailureKind::WallBudget)
+    }
+}
+
+/// One contained cell failure: what went wrong, where, after how many
+/// attempts.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Coarse classification.
+    pub kind: FailureKind,
+    /// Human-readable detail — the panic payload or engine error.
+    pub message: String,
+    /// Scenario name of the failed cell.
+    pub scenario: String,
+    /// Policy token of the failed cell.
+    pub policy: String,
+    /// Base seed of the failed cell.
+    pub seed: u64,
+    /// Attempts made (> 1 only after environmental retries).
+    pub attempts: u32,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} × {} @ seed {}: {}",
+            self.kind.label(),
+            self.scenario,
+            self.policy,
+            self.seed,
+            self.message
+        )?;
+        if self.attempts > 1 {
+            write!(f, " (after {} attempts)", self.attempts)?;
+        }
+        Ok(())
+    }
+}
+
 /// A completed cell.
 #[derive(Debug)]
 pub struct CellResult {
     /// The steady-state report; `None` when the policy cannot run on
-    /// the scenario's machine (e.g. vTurbo on a single-core host).
+    /// the scenario's machine (e.g. vTurbo on a single-core host) or
+    /// when the cell failed (see `failure`).
     pub report: Option<RunReport>,
     /// Extracted probe data (when the cell asked for one and ran).
     pub probe: Option<ProbeOut>,
     /// Wall-clock time this cell took to simulate (ns; zero for
     /// inapplicable cells). Never enters any table.
     pub wall_ns: u64,
+    /// The contained failure, when the cell ran and did not finish.
+    /// `None` with `report: None` means the cell was inapplicable.
+    pub failure: Option<CellFailure>,
 }
 
 fn extract_probe(sim: &Simulation, probe: &Probe) -> Option<ProbeOut> {
@@ -233,9 +365,59 @@ fn extract_probe(sim: &Simulation, probe: &Probe) -> Option<ProbeOut> {
     }
 }
 
+/// A worker-side slot value: either a finished cell or its contained
+/// failure. Absent (`None` in the slot) means inapplicable or
+/// unvisited.
+#[derive(Debug)]
+enum SlotState {
+    Done {
+        report: RunReport,
+        probe: Option<ProbeOut>,
+        wall_ns: u64,
+    },
+    Failed {
+        failure: CellFailure,
+        wall_ns: u64,
+    },
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn classify(cell: &PlanCell, err: &EngineError, attempts: u32) -> CellFailure {
+    let kind = match err {
+        EngineError::Livelock { .. } => FailureKind::Livelock,
+        EngineError::WallBudgetExceeded { .. } => FailureKind::WallBudget,
+        EngineError::InvariantViolation { .. } => FailureKind::Invariant,
+    };
+    CellFailure {
+        kind,
+        message: err.to_string(),
+        scenario: cell.spec.name.clone(),
+        policy: cell.policy.clone(),
+        seed: cell.base_seed,
+        attempts,
+    }
+}
+
+fn time_mode_label(mode: TimeMode) -> &'static str {
+    match mode {
+        TimeMode::Dense => "dense",
+        TimeMode::Adaptive => "adaptive",
+    }
+}
+
 /// Runs every cell across the worker pool; results are returned in
 /// cell order. Fails fast (before spawning any thread) on a malformed
-/// policy token.
+/// policy token. Cell failures are contained per slot (see the module
+/// docs) unless [`ExecOpts::fail_fast`] re-raises them.
 pub fn execute(cells: &[PlanCell], opts: &ExecOpts) -> Result<Vec<CellResult>, String> {
     // Validate the whole matrix up front so a typo cannot surface as
     // a mid-plan panic on a worker thread — both token syntax and
@@ -253,6 +435,9 @@ pub fn execute(cells: &[PlanCell], opts: &ExecOpts) -> Result<Vec<CellResult>, S
     if cells.is_empty() {
         return Err("empty plan".to_string());
     }
+    if opts.resume && opts.journal.is_none() {
+        return Err("resume requires a journal path".to_string());
+    }
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -260,56 +445,245 @@ pub fn execute(cells: &[PlanCell], opts: &ExecOpts) -> Result<Vec<CellResult>, S
     }
     .min(cells.len());
 
+    // Fingerprints tie journal lines to the exact cell + executor
+    // config that produced them; only computed when a journal is in
+    // play (spec.to_text() is not free).
+    let fingerprints: Vec<u64> = if opts.journal.is_some() {
+        cells
+            .iter()
+            .map(|c| {
+                journal::fingerprint(
+                    &c.spec.to_text(),
+                    &c.policy,
+                    c.base_seed,
+                    time_mode_label(opts.time_mode),
+                    opts.coalesce,
+                )
+            })
+            .collect()
+    } else {
+        vec![0; cells.len()]
+    };
+
     // Workers claim cells through an atomic cursor and park each
     // result in the cell's matrix slot: claiming order is racy,
     // result placement is not.
-    type Slot = Mutex<Option<(RunReport, Option<ProbeOut>, u64)>>;
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Slot> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<SlotState>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+
+    // Resume: prefill slots whose identity and fingerprint match a
+    // journal line. Probe cells never match — probes are not
+    // journaled, so they always re-run.
+    if opts.resume {
+        let path = opts.journal.as_ref().expect("checked above");
+        let entries = journal::load(path)?;
+        let by_key: HashMap<(&str, &str, u64), &JournalEntry> = entries
+            .iter()
+            .map(|e| ((e.scenario.as_str(), e.policy.as_str(), e.seed), e))
+            .collect();
+        for (i, cell) in cells.iter().enumerate() {
+            if cell.probe != Probe::None {
+                continue;
+            }
+            let key = (
+                cell.spec.name.as_str(),
+                cell.policy.as_str(),
+                cell.base_seed,
+            );
+            if let Some(e) = by_key.get(&key) {
+                if e.fp == fingerprints[i] {
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                        Some(SlotState::Done {
+                            report: e.report.clone(),
+                            probe: None,
+                            wall_ns: e.wall_ns,
+                        });
+                }
+            }
+        }
+    }
+
+    let journal_file = match opts.journal.as_ref() {
+        Some(path) => Some(Mutex::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?,
+        )),
+        None => None,
+    };
+
+    // Fail-fast aborts ride out of the scope in this slot and are
+    // re-raised on the caller: `thread::scope` would otherwise replace
+    // a worker's panic payload with its own "a scoped thread panicked".
+    let abort: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
+            scope.spawn(|| 'work: loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
+                if abort
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .is_some()
+                {
+                    break; // another worker hit a fail-fast abort
+                }
+                if slots[i]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .is_some()
+                {
+                    continue; // prefilled from the journal
+                }
                 let policy = &policies[i];
                 if !policy.applicable(&cell.spec) {
                     continue;
                 }
-                let boxed = policy.build(&cell.spec);
-                let t0 = std::time::Instant::now();
-                let mut sim = build_sim_seeded_full(
-                    &cell.spec,
-                    boxed,
-                    cell.base_seed,
-                    opts.time_mode,
-                    opts.coalesce,
-                    opts.span_workers,
-                );
-                let report = sim.run_measured(cell.spec.warmup_ns, cell.spec.measure_ns);
-                let wall_ns = t0.elapsed().as_nanos() as u64;
-                let probe = extract_probe(&sim, &cell.probe);
-                *slots[i].lock().expect("slot poisoned") = Some((report, probe, wall_ns));
+                let budget = RunBudget {
+                    max_wall: opts.max_cell_wall,
+                    ..RunBudget::default()
+                };
+                let mut attempts = 0u32;
+                let outcome = loop {
+                    attempts += 1;
+                    let t0 = std::time::Instant::now();
+                    // The unwind boundary IS the isolation boundary:
+                    // everything cell-local (build, run, probe) is
+                    // inside; the shared slots and journal are not.
+                    // AssertUnwindSafe is sound because a panicking
+                    // attempt's simulation is dropped wholesale —
+                    // no torn state outlives the catch.
+                    let ran = catch_unwind(AssertUnwindSafe(|| {
+                        let boxed = policy.build(&cell.spec);
+                        let mut sim = build_sim_seeded_full(
+                            &cell.spec,
+                            boxed,
+                            cell.base_seed,
+                            opts.time_mode,
+                            opts.coalesce,
+                            opts.span_workers,
+                        );
+                        sim.run_measured_budgeted(
+                            cell.spec.warmup_ns,
+                            cell.spec.measure_ns,
+                            &budget,
+                        )
+                        .map(|report| {
+                            let probe = extract_probe(&sim, &cell.probe);
+                            (report, probe)
+                        })
+                    }));
+                    let wall_ns = t0.elapsed().as_nanos() as u64;
+                    match ran {
+                        Ok(Ok((report, probe))) => {
+                            break SlotState::Done {
+                                report,
+                                probe,
+                                wall_ns,
+                            }
+                        }
+                        Ok(Err(err)) => {
+                            if err.is_environmental() && attempts <= opts.retries {
+                                // Transient host pressure: back off
+                                // 5, 10, 20, … ms and try again.
+                                std::thread::sleep(Duration::from_millis(
+                                    5u64 << (attempts - 1).min(6),
+                                ));
+                                continue;
+                            }
+                            break SlotState::Failed {
+                                failure: classify(cell, &err, attempts),
+                                wall_ns,
+                            };
+                        }
+                        Err(payload) => {
+                            if opts.fail_fast {
+                                *abort.lock().unwrap_or_else(PoisonError::into_inner) =
+                                    Some(payload);
+                                break 'work;
+                            }
+                            break SlotState::Failed {
+                                failure: CellFailure {
+                                    kind: FailureKind::Panic,
+                                    message: panic_message(payload.as_ref()),
+                                    scenario: cell.spec.name.clone(),
+                                    policy: cell.policy.clone(),
+                                    seed: cell.base_seed,
+                                    attempts,
+                                },
+                                wall_ns,
+                            };
+                        }
+                    }
+                };
+                if opts.fail_fast {
+                    if let SlotState::Failed { failure, .. } = &outcome {
+                        *abort.lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some(Box::new(format!("cell failed: {failure}")));
+                        break 'work;
+                    }
+                }
+                if let (
+                    Some(file),
+                    SlotState::Done {
+                        report, wall_ns, ..
+                    },
+                ) = (journal_file.as_ref(), &outcome)
+                {
+                    if cell.probe == Probe::None {
+                        let entry = JournalEntry {
+                            fp: fingerprints[i],
+                            scenario: cell.spec.name.clone(),
+                            policy: cell.policy.clone(),
+                            seed: cell.base_seed,
+                            wall_ns: *wall_ns,
+                            report: report.clone(),
+                        };
+                        let mut f = file.lock().unwrap_or_else(PoisonError::into_inner);
+                        // Journal I/O is best-effort: a full disk must
+                        // not take the in-memory results down with it.
+                        let _ = writeln!(f, "{}", journal::encode(&entry));
+                        let _ = f.flush();
+                    }
+                }
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
             });
         }
     });
+    if let Some(payload) = abort.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        resume_unwind(payload);
+    }
 
     Ok(slots
         .into_iter()
-        .map(|slot| {
-            let cell = slot.into_inner().expect("slot poisoned");
-            match cell {
-                Some((report, probe, wall_ns)) => CellResult {
+        .map(
+            |slot| match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(SlotState::Done {
+                    report,
+                    probe,
+                    wall_ns,
+                }) => CellResult {
                     report: Some(report),
                     probe,
                     wall_ns,
+                    failure: None,
+                },
+                Some(SlotState::Failed { failure, wall_ns }) => CellResult {
+                    report: None,
+                    probe: None,
+                    wall_ns,
+                    failure: Some(failure),
                 },
                 None => CellResult {
                     report: None,
                     probe: None,
                     wall_ns: 0,
+                    failure: None,
                 },
-            }
-        })
+            },
+        )
         .collect())
 }
 
@@ -497,6 +871,165 @@ mod tests {
         assert!(matches!(out[2].probe, Some(ProbeOut::Majority(_))));
         // A probe that needs AqlSched yields nothing under Xen.
         assert!(out[3].probe.is_none());
+    }
+
+    /// `tiny()` with a fault token on the `web` VM.
+    fn faulty(name: &str, token: &str) -> ScenarioSpec {
+        ScenarioSpec::parse(&format!(
+            "scenario = {name}\n\
+             machine = sockets=1 cores=2 cache=i7-3770\n\
+             warmup_ms = 100\n\
+             measure_ms = 250\n\
+             vm web workload=io/heterogeneous/150 seed=42 fault={token}\n\
+             vm walk-%i count=2 workload=walk/llcf|walk/llco\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn panicking_cell_is_contained_and_siblings_unaffected() {
+        let cells = vec![
+            PlanCell::new(tiny("a"), "xen-credit"),
+            PlanCell::new(faulty("boom", "panic@30ms"), "xen-credit"),
+            PlanCell::new(tiny("b"), "fixed/10ms"),
+        ];
+        let opts = ExecOpts {
+            threads: 2,
+            ..ExecOpts::default()
+        };
+        let out = execute(&cells, &opts).unwrap();
+        let failure = out[1].failure.as_ref().expect("faulty cell must fail");
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(failure.message.contains("injected fault"), "{failure}");
+        assert_eq!(failure.scenario, "boom");
+        assert!(out[1].report.is_none());
+        // Siblings are bitwise identical to a run with no faulty cell
+        // in the matrix at all.
+        let clean = execute(
+            &[
+                PlanCell::new(tiny("a"), "xen-credit"),
+                PlanCell::new(tiny("b"), "fixed/10ms"),
+            ],
+            &ExecOpts::serial(),
+        )
+        .unwrap();
+        assert_eq!(out[0].report, clean[0].report);
+        assert_eq!(out[2].report, clean[1].report);
+    }
+
+    #[test]
+    fn hanging_cell_trips_the_livelock_sentinel() {
+        let out = execute(
+            &[PlanCell::new(faulty("stuck", "hang"), "xen-credit")],
+            &ExecOpts::serial(),
+        )
+        .unwrap();
+        let failure = out[0].failure.as_ref().expect("hung cell must fail");
+        assert_eq!(failure.kind, FailureKind::Livelock);
+        assert_eq!(failure.attempts, 1, "deterministic failures never retry");
+    }
+
+    #[test]
+    fn nan_rate_trips_the_invariant_sentinel() {
+        let out = execute(
+            &[PlanCell::new(faulty("poison", "nan-rate"), "xen-credit")],
+            &ExecOpts::serial(),
+        )
+        .unwrap();
+        let failure = out[0].failure.as_ref().expect("poisoned cell must fail");
+        assert_eq!(failure.kind, FailureKind::Invariant);
+    }
+
+    #[test]
+    fn wall_budget_is_environmental_and_retries() {
+        let opts = ExecOpts {
+            max_cell_wall: Some(Duration::ZERO),
+            retries: 2,
+            ..ExecOpts::serial()
+        };
+        let out = execute(&[PlanCell::new(tiny("slow"), "xen-credit")], &opts).unwrap();
+        let failure = out[0].failure.as_ref().expect("zero budget must trip");
+        assert_eq!(failure.kind, FailureKind::WallBudget);
+        assert!(failure.kind.is_environmental());
+        assert_eq!(failure.attempts, 3, "initial attempt + 2 retries");
+    }
+
+    #[test]
+    fn fail_fast_reraises_the_original_panic() {
+        let cells = vec![PlanCell::new(faulty("boom", "panic@30ms"), "xen-credit")];
+        let opts = ExecOpts {
+            fail_fast: true,
+            ..ExecOpts::serial()
+        };
+        let err = catch_unwind(AssertUnwindSafe(|| execute(&cells, &opts)))
+            .expect_err("fail-fast must re-raise");
+        assert!(panic_message(err.as_ref()).contains("injected fault"));
+    }
+
+    #[test]
+    fn journal_resume_is_byte_identical_to_a_clean_run() {
+        let dir = std::env::temp_dir().join("aql_plan_resume_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cells.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let partial = vec![PlanCell::new(tiny("a"), "xen-credit")];
+        let full = vec![
+            PlanCell::new(tiny("a"), "xen-credit"),
+            PlanCell::new(tiny("b"), "fixed/10ms"),
+        ];
+        let journaled = ExecOpts {
+            journal: Some(path.clone()),
+            ..ExecOpts::serial()
+        };
+        // Simulate an interrupted sweep: only the first cell is in the
+        // journal.
+        let first = execute(&partial, &journaled).unwrap();
+        assert_eq!(journal::load(&path).unwrap().len(), 1);
+
+        // Resume the full plan: cell a prefills, cell b runs fresh.
+        let resumed = execute(
+            &full,
+            &ExecOpts {
+                resume: true,
+                ..journaled.clone()
+            },
+        )
+        .unwrap();
+        let clean = execute(&full, &ExecOpts::serial()).unwrap();
+        assert_eq!(resumed[0].report, first[0].report);
+        assert_eq!(resumed[0].report, clean[0].report);
+        assert_eq!(resumed[1].report, clean[1].report);
+        // The prefilled cell reports the journaled wall time — proof it
+        // was not re-simulated is that the journal gained exactly one
+        // line (cell b), not two.
+        assert_eq!(journal::load(&path).unwrap().len(), 2);
+
+        // A journal written under a different executor config is
+        // ignored: the fingerprint mismatches and every cell re-runs.
+        let other_mode = ExecOpts {
+            resume: true,
+            coalesce: false,
+            journal: Some(path.clone()),
+            ..ExecOpts::serial()
+        };
+        let rerun = execute(&partial, &other_mode).unwrap();
+        assert!(rerun[0].report.is_some());
+        assert!(
+            journal::load(&path).unwrap().len() > 2,
+            "mismatched fingerprint must re-run and re-journal"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_without_journal_is_rejected() {
+        let opts = ExecOpts {
+            resume: true,
+            ..ExecOpts::serial()
+        };
+        let err = execute(&[PlanCell::new(tiny("x"), "xen-credit")], &opts);
+        assert!(err.is_err_and(|e| e.contains("journal")));
     }
 
     #[test]

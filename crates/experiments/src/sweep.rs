@@ -20,8 +20,21 @@
 //! * the table contains no wall-clock, host or thread-count
 //!   information.
 //!
+//! # Fault containment
+//!
+//! Each cell is its own failure domain (see [`crate::plan`]): a
+//! panicking, livelocked or invariant-breaking cell becomes a
+//! [`CellFailure`] rendered as an explicit `FAIL` in the table, and
+//! every surviving row is byte-identical to a sweep that never
+//! contained the broken cell. [`SweepConfig::journal`] and
+//! [`SweepConfig::resume`] make an interrupted sweep restartable
+//! without re-running finished cells.
+//!
 //! The `sweep` binary (`cargo run --release -p aql_experiments --bin
 //! sweep`) is the CLI over this module.
+
+use std::path::PathBuf;
+use std::time::Duration;
 
 use aql_hv::apptype::VcpuType;
 use aql_hv::{RunReport, TimeMode};
@@ -29,7 +42,7 @@ use aql_scenarios::{catalog, classes, parse_policy, ScenarioSpec};
 use aql_sim::rng::derive_seed;
 
 use crate::emit::{fmt_ratio, Table};
-use crate::plan::{class_mean_norm, execute, seed_mean, ExecOpts, PlanCell};
+use crate::plan::{class_mean_norm, execute, seed_mean, CellFailure, ExecOpts, PlanCell};
 
 /// What to sweep and how to run it.
 #[derive(Debug, Clone)]
@@ -60,6 +73,19 @@ pub struct SweepConfig {
     /// matrix cells, `span_workers` across sockets within one cell.
     /// Results are byte-identical for every value.
     pub span_workers: usize,
+    /// Wall-clock budget per cell attempt (see
+    /// [`ExecOpts::max_cell_wall`]); `None` = unlimited.
+    pub max_cell_wall: Option<Duration>,
+    /// Retries for environmental (wall-budget) cell failures.
+    pub retries: u32,
+    /// Append-only JSONL journal of completed cells (see
+    /// [`crate::journal`]).
+    pub journal: Option<PathBuf>,
+    /// Skip cells already journaled instead of re-running them;
+    /// requires `journal`.
+    pub resume: bool,
+    /// Re-raise the first cell failure instead of rendering `FAIL`.
+    pub fail_fast: bool,
 }
 
 impl Default for SweepConfig {
@@ -75,6 +101,11 @@ impl Default for SweepConfig {
             time_mode: TimeMode::default(),
             coalesce: true,
             span_workers: 1,
+            max_cell_wall: None,
+            retries: 0,
+            journal: None,
+            resume: false,
+            fail_fast: false,
         }
     }
 }
@@ -99,8 +130,12 @@ pub struct SweepResult {
     pub job: SweepJob,
     /// The steady-state report; `None` when the policy cannot run on
     /// the scenario's machine (e.g. vTurbo on a single-core host) —
-    /// the table renders such cells as `-`.
+    /// the table renders such cells as `-` — or when the cell failed
+    /// (rendered `FAIL`; see `failure`).
     pub report: Option<RunReport>,
+    /// The contained failure, when the cell ran but did not finish
+    /// (panic, livelock, wall budget, invariant violation).
+    pub failure: Option<CellFailure>,
     /// Wall-clock time this cell took to simulate, in nanoseconds
     /// (zero for inapplicable cells). Wall time never enters the
     /// aggregated table — it would break byte-stability — but perf
@@ -142,6 +177,14 @@ impl SweepOutcome {
             acc[r.job.scenario_index] += r.wall_ns;
         }
         acc
+    }
+
+    /// Every contained cell failure, in matrix order.
+    pub fn failures(&self) -> Vec<&CellFailure> {
+        self.results
+            .iter()
+            .filter_map(|r| r.failure.as_ref())
+            .collect()
     }
 }
 
@@ -193,6 +236,11 @@ pub fn run_sweep_on(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Result<SweepOu
         time_mode: cfg.time_mode,
         coalesce: cfg.coalesce,
         span_workers: cfg.span_workers,
+        fail_fast: cfg.fail_fast,
+        max_cell_wall: cfg.max_cell_wall,
+        retries: cfg.retries,
+        journal: cfg.journal.clone(),
+        resume: cfg.resume,
     };
     let results: Vec<SweepResult> = jobs
         .into_iter()
@@ -200,6 +248,7 @@ pub fn run_sweep_on(specs: &[ScenarioSpec], cfg: &SweepConfig) -> Result<SweepOu
         .map(|(job, cell)| SweepResult {
             job,
             report: cell.report,
+            failure: cell.failure,
             wall_ns: cell.wall_ns,
         })
         .collect();
@@ -261,7 +310,16 @@ fn aggregate(specs: &[ScenarioSpec], cfg: &SweepConfig, results: &[SweepResult])
                     .collect();
                 seed_mean(&vals)
             };
-            let mut row = vec![spec.name.clone(), policy.clone(), fmt_ratio(per_seed(None))];
+            // A failed replicate is rendered explicitly, not folded
+            // into a silent `-`: a partial table must say which cells
+            // are missing because something *broke*.
+            let any_failed = (0..cfg.seeds).any(|k| cell(s, k, p).failure.is_some());
+            let norm = if any_failed {
+                "FAIL".to_string()
+            } else {
+                fmt_ratio(per_seed(None))
+            };
+            let mut row = vec![spec.name.clone(), policy.clone(), norm];
             for class in VcpuType::ALL {
                 // Only normalise classes the scenario populates.
                 let present = vm_classes.contains(&class);
@@ -365,6 +423,35 @@ mod tests {
             ..SweepConfig::default()
         };
         assert!(run_sweep_on(&[tiny("x")], &empty).is_err());
+    }
+
+    #[test]
+    fn failed_cells_render_fail_and_spare_siblings() {
+        let faulty = ScenarioSpec::parse(
+            "scenario = boom\n\
+             machine = sockets=1 cores=2 cache=i7-3770\n\
+             warmup_ms = 100\n\
+             measure_ms = 250\n\
+             vm web workload=io/heterogeneous/150 fault=panic@30ms\n\
+             vm walk workload=walk/llcf\n",
+        )
+        .unwrap();
+        let specs = [tiny("ok"), faulty];
+        let out = run_sweep_on(&specs, &tiny_cfg(2)).unwrap();
+        assert!(!out.failures().is_empty());
+        assert!(
+            out.table.render().contains("FAIL"),
+            "{}",
+            out.table.render()
+        );
+        // Rows of the healthy scenario are byte-identical to a sweep
+        // that never contained the broken one.
+        let clean = run_sweep_on(&[tiny("ok")], &tiny_cfg(1)).unwrap();
+        let ok_rows: Vec<_> = out.table.rows.iter().filter(|r| r[0] == "ok").collect();
+        assert_eq!(ok_rows.len(), clean.table.rows.len());
+        for (a, b) in ok_rows.iter().zip(&clean.table.rows) {
+            assert_eq!(**a, *b);
+        }
     }
 
     #[test]

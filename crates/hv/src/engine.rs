@@ -52,6 +52,7 @@
 //! * `builder` — [`SimulationBuilder`].
 
 mod balance;
+mod budget;
 mod builder;
 mod dispatch;
 mod exec;
@@ -63,6 +64,7 @@ mod spanpool;
 #[cfg(test)]
 mod tests;
 
+pub use budget::{EngineError, RunBudget};
 pub use builder::SimulationBuilder;
 pub use dispatch::{DispatchDecision, DispatchSource};
 pub use machine::{Hypervisor, PcpuState};
@@ -175,6 +177,15 @@ pub struct Simulation {
     /// start succeeding until the generation moves, so re-planning
     /// every sub-step of a short-quantum regime is wasted work.
     sched_gen: u64,
+    /// Armed sentinels of a budgeted run in flight (see
+    /// [`Simulation::run_measured_budgeted`]); `None` outside one.
+    budget: Option<budget::ArmedBudget>,
+    /// How many coalesced chunks broke the
+    /// [`CoalesceHint`](crate::workload::CoalesceHint) contract and
+    /// were recovered through the dense continuation. Zero for every
+    /// in-tree workload; fault injection (`coalesce-break`) drives it
+    /// up to prove the recovery path, and tests assert on it.
+    contract_breaks: u64,
     /// Trace log (enable via [`SimulationBuilder::trace`]).
     pub trace: TraceLog,
     tick_count: u64,
@@ -216,6 +227,14 @@ impl Simulation {
         self.parallel_spans
     }
 
+    /// How many coalesced chunks broke the linear contract and were
+    /// completed through the dense recovery path. Zero for conforming
+    /// workloads; the fault-injection tests assert it moves under a
+    /// `coalesce-break` fault, proving the recovery is exercised.
+    pub fn coalesce_break_count(&self) -> u64 {
+        self.contract_breaks
+    }
+
     /// Runs until `end` (absolute simulated time). A no-op when `end`
     /// is not after the current time: the clock never moves backwards.
     pub fn run_until(&mut self, end: SimTime) {
@@ -233,6 +252,12 @@ impl Simulation {
     /// loop's results bit for bit.
     fn run_until_dense(&mut self, end: SimTime) {
         while self.now < end {
+            // 0. A tripped run budget aborts mid-run: return, never
+            // `break` — the epilogue below would claim the clock
+            // reached `end` when it did not.
+            if self.budget_stop() {
+                return;
+            }
             // 1. Process all events due now.
             while self
                 .queue

@@ -178,6 +178,8 @@ impl SimulationBuilder {
                 .collect(),
             span_pool,
             parallel_spans: 0,
+            budget: None,
+            contract_breaks: 0,
             sched_gen: 0,
             trace,
             tick_count: 0,

@@ -67,6 +67,10 @@ impl Simulation {
                             vid
                         )
                     });
+                    // An armed run budget counts the streak: enough
+                    // consecutive bails by one vCPU promote this trace
+                    // line to a structured livelock sentinel.
+                    self.note_starve_bail(vid);
                     return;
                 }
             } else {

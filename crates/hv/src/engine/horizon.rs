@@ -62,9 +62,10 @@
 //! through the dense [`Simulation::advance_pcpu_from`] continuation —
 //! the exact code the dense loop would have run — and abandons the
 //! span, so even a lying horizon cannot cause divergence, only lost
-//! speed. A broken *coalesce* contract (impossible for the in-tree
-//! workloads, asserted in debug builds) is likewise completed through
-//! the dense continuation at span scale.
+//! speed. A broken *coalesce* contract — unreachable for the in-tree
+//! workloads, reachable on purpose through fault injection — is
+//! counted ([`Simulation::coalesce_break_count`]), traced, and
+//! likewise completed through the dense continuation at span scale.
 
 use aql_mem::{CacheSpec, LlcState, RateCache};
 use aql_sim::rng::SimRng;
@@ -115,10 +116,11 @@ enum SpanExec {
     /// Every slot conformed; accumulators are credited, the caller
     /// advances the clock and continues the span.
     Clean,
-    /// A slot broke the coalesce contract (debug builds assert this is
-    /// unreachable for in-tree workloads). Recovery — accounting
-    /// flush, stop-reason handling, dense completion of the window,
-    /// clock advance — already happened; the caller abandons the span.
+    /// A slot broke the coalesce contract (in-tree workloads never do;
+    /// fault-injected ones may — the break is counted and traced).
+    /// Recovery — accounting flush, stop-reason handling, dense
+    /// completion of the window, clock advance — already happened; the
+    /// caller abandons the span.
     Aborted,
 }
 
@@ -206,6 +208,12 @@ impl Simulation {
         // call's `end`; this call can see further.
         self.scratch.failed_plan_gen = None;
         while self.now < end {
+            // 0. A tripped run budget aborts mid-run (identical to
+            // dense): return, never `break` — the epilogue would
+            // falsify the clock.
+            if self.budget_stop() {
+                return;
+            }
             // 1. Process all events due now (identical to dense).
             while self
                 .queue
@@ -388,16 +396,20 @@ impl Simulation {
                             slots[i].acc_ns += budget;
                             continue;
                         }
-                        // A linear hint lied. This cannot happen for the
-                        // in-tree workloads (debug builds assert);
+                        // A linear hint lied. In-tree workloads never
+                        // do this; fault injection (`coalesce-break`)
+                        // does it on purpose. Count it, say so, and
                         // recover by finishing the span window densely
                         // from the deviation, exactly like a broken
                         // horizon promise.
-                        debug_assert!(
-                            false,
-                            "coalesce contract broken by vm {} slot {}",
-                            s.vm, s.slot
-                        );
+                        self.contract_breaks += 1;
+                        self.trace.emit(self.now, || {
+                            format!(
+                                "coalesce contract broken by vm {} slot {}; \
+                                 recovering densely",
+                                s.vm, s.slot
+                            )
+                        });
                         slots[i].acc_ns += out.used_ns;
                         self.flush_fast_accounting(&mut slots);
                         match out.stop {
@@ -662,11 +674,13 @@ impl Simulation {
             if out.used_ns == budget && out.stop == StopReason::BudgetExhausted {
                 slots[i].acc_ns += budget;
             } else {
-                debug_assert!(
-                    false,
-                    "coalesce contract broken by vm {} slot {}",
-                    slots[i].vm, slots[i].slot
-                );
+                self.contract_breaks += 1;
+                self.trace.emit(self.now, || {
+                    format!(
+                        "coalesce contract broken by vm {} slot {}; recovering densely",
+                        slots[i].vm, slots[i].slot
+                    )
+                });
                 slots[i].acc_ns += out.used_ns;
                 clean = false;
             }
@@ -680,9 +694,9 @@ impl Simulation {
         // the recovery credits what actually ran, replays each
         // deviator's stop reason and dense continuation in pCPU order,
         // and completes the window on the idle pCPUs (a yielded
-        // deviator may now be stealable). Both recoveries are
-        // debug-assert-unreachable for conforming workloads; they exist
-        // so a lying hint costs speed and a debug abort, never
+        // deviator may now be stealable). Conforming workloads never
+        // reach either recovery; they exist so a lying hint costs
+        // speed and a counted contract break, never
         // divergence-by-corruption.
         self.flush_fast_accounting(slots);
         for (i, out) in outcomes.iter().enumerate() {

@@ -43,7 +43,7 @@ pub mod vm;
 pub mod workload;
 
 pub use apptype::VcpuType;
-pub use engine::{Simulation, SimulationBuilder, TimeMode};
+pub use engine::{EngineError, RunBudget, Simulation, SimulationBuilder, TimeMode};
 pub use ids::{PcpuId, PoolId, SocketId, VcpuId, VmId};
 pub use policy::{FixedQuantumPolicy, SchedPolicy};
 pub use pool::{CpuPool, PoolSpec};

@@ -4,7 +4,7 @@ use crate::ids::VmId;
 use crate::workload::WorkloadMetrics;
 
 /// Results for one VM.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmReport {
     /// The VM's identifier.
     pub vm: VmId,
@@ -26,7 +26,7 @@ impl VmReport {
 }
 
 /// Results of a whole simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Simulated duration (ns).
     pub sim_ns: u64,

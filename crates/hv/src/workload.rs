@@ -254,6 +254,24 @@ pub struct LatencySummary {
     pub p99_ns: f64,
     /// Maximum observed latency in nanoseconds.
     pub max_ns: f64,
+    /// NaN latency samples recorded. Zero on every healthy run; a
+    /// non-zero count marks the summary as corrupted (the percentile
+    /// fields may themselves be NaN) and is what the engine's
+    /// invariant sentinel reports instead of letting a NaN propagate
+    /// silently into normalised tables.
+    pub nan_samples: u64,
+}
+
+impl LatencySummary {
+    /// Whether every field of the summary is finite and no NaN sample
+    /// was recorded.
+    pub fn is_finite(&self) -> bool {
+        self.nan_samples == 0
+            && self.mean_ns.is_finite()
+            && self.p95_ns.is_finite()
+            && self.p99_ns.is_finite()
+            && self.max_ns.is_finite()
+    }
 }
 
 /// End-of-run application metrics, per workload kind.

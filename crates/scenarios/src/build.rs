@@ -79,7 +79,12 @@ pub fn expand_seeded(spec: &ScenarioSpec, base_seed: u64) -> Vec<(VmSpec, Box<dy
                 Some(s) => s.of_instance(i).wrapping_add(delta),
                 None => derive_seed(&format!("{}/{}", spec.name, name), base_seed),
             };
-            let (mut vspec, wl) = vm.workload_of(i).build(&name, &cache, seed);
+            let (mut vspec, mut wl) = vm.workload_of(i).build(&name, &cache, seed);
+            if let Some(fault) = vm.fault {
+                // Fault injection: misbehave on purpose, so the
+                // harness's degradation paths are provable end to end.
+                wl = Box::new(aql_workloads::FaultyWorkload::new(wl, fault));
+            }
             if let Some(w) = vm.weight {
                 vspec.weight = w;
             }

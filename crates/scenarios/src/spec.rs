@@ -46,6 +46,12 @@
 //!   * `cache=<preset>` — size the workload model against this cache
 //!     preset instead of the host machine's (benchmark binaries keep
 //!     their working sets wherever they run).
+//!   * `fault=<token>` — wrap every instance's workload in a
+//!     [`FaultyWorkload`](aql_workloads::FaultyWorkload) injecting one
+//!     deterministic failure mode (`panic@<dur>`, `hang`,
+//!     `hang@<dur>`, `nan-rate`, `horizon-lie`, `coalesce-break`).
+//!     Fault-injection scenarios exist to prove the harness's
+//!     degradation paths; the catalog never uses them.
 //!
 //! Every spec round-trips: [`ScenarioSpec::to_text`] serialises the
 //! canonical form and [`ScenarioSpec::parse`] reproduces the value
@@ -56,7 +62,7 @@ use core::fmt;
 use aql_hv::apptype::VcpuType;
 use aql_mem::CacheSpec;
 use aql_sim::time::{MS, US};
-use aql_workloads::WorkloadSpec;
+use aql_workloads::{FaultSpec, WorkloadSpec};
 
 /// Default base seed when a scenario file omits `seed`.
 pub const DEFAULT_SEED: u64 = 42;
@@ -160,6 +166,11 @@ pub struct VmDecl {
     /// instead of the host machine's (a benchmark binary keeps its
     /// working set wherever it runs). `None` = the machine's cache.
     pub cache: Option<CachePreset>,
+    /// Injected fault: every instance's workload is wrapped in a
+    /// [`FaultyWorkload`](aql_workloads::FaultyWorkload) with this
+    /// spec. `None` (always, outside directed fault tests) runs the
+    /// workload unwrapped.
+    pub fault: Option<FaultSpec>,
 }
 
 impl VmDecl {
@@ -300,6 +311,7 @@ fn parse_vm(rest: &str, line: usize) -> Result<VmDecl, SpecError> {
         class: None,
         pin: None,
         cache: None,
+        fault: None,
     };
     for tok in toks {
         let Some((k, v)) = split_kv(tok) else {
@@ -344,6 +356,10 @@ fn parse_vm(rest: &str, line: usize) -> Result<VmDecl, SpecError> {
             "cache" => match CachePreset::parse(v) {
                 Some(c) => decl.cache = Some(c),
                 None => return err(line, format!("unknown cache preset '{v}'")),
+            },
+            "fault" => match FaultSpec::parse(v) {
+                Ok(fs) => decl.fault = Some(fs),
+                Err(e) => return err(line, e),
             },
             _ => return err(line, format!("unknown vm attribute '{k}'")),
         }
@@ -513,6 +529,9 @@ impl ScenarioSpec {
             if let Some(c) = vm.cache {
                 out.push_str(&format!(" cache={}", c.token()));
             }
+            if let Some(fs) = vm.fault {
+                out.push_str(&format!(" fault={fs}"));
+            }
             out.push('\n');
         }
         out
@@ -633,6 +652,30 @@ vm ghost   workload=idle class=IOInt
         assert_eq!(back, s);
         // And the canonical form is a fixed point.
         assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn fault_attribute_parses_and_round_trips() {
+        let doc = "\
+scenario = faulty
+machine  = sockets=1 cores=2 cache=i7-3770
+vm good  workload=walk/llcf
+vm bad   workload=walk/llcf fault=panic@30ms
+vm hung  workload=io/exclusive/100 fault=hang
+";
+        let s = ScenarioSpec::parse(doc).unwrap();
+        assert_eq!(s.vms[0].fault, None);
+        assert_eq!(
+            s.vms[1].fault,
+            Some(FaultSpec::Panic { at_cpu_ns: 30 * MS })
+        );
+        assert_eq!(s.vms[2].fault, Some(FaultSpec::Hang { after_cpu_ns: 0 }));
+        let text = s.to_text();
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), s);
+        assert!(ScenarioSpec::parse(
+            "scenario = x\nmachine = sockets=1 cores=1 cache=i7-3770\nvm a workload=idle fault=explode\n"
+        )
+        .is_err());
     }
 
     #[test]

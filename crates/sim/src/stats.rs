@@ -122,10 +122,16 @@ impl OnlineStats {
 /// Stores every sample; queries sort lazily (cached until the next
 /// insertion). Suitable for the request-count scales this simulator
 /// produces (at most a few million samples per run).
+///
+/// NaN samples are tolerated, counted ([`SampleSet::nan_count`]) and
+/// sorted to the tail via [`f64::total_cmp`] — a corrupted sample must
+/// surface as a flagged summary, never as a panic in the reporting
+/// path.
 #[derive(Debug, Clone, Default)]
 pub struct SampleSet {
     samples: Vec<f64>,
     sorted: bool,
+    nans: u64,
 }
 
 impl SampleSet {
@@ -134,13 +140,22 @@ impl SampleSet {
         SampleSet {
             samples: Vec::new(),
             sorted: true,
+            nans: 0,
         }
     }
 
     /// Adds one sample.
     pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nans += 1;
+        }
         self.samples.push(x);
         self.sorted = false;
+    }
+
+    /// Number of NaN samples recorded so far.
+    pub fn nan_count(&self) -> u64 {
+        self.nans
     }
 
     /// Number of samples.
@@ -164,8 +179,10 @@ impl SampleSet {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample recorded"));
+            // total_cmp gives a total order with NaNs at the extremes
+            // (positive NaN sorts last), so percentile queries stay
+            // well-defined — and panic-free — on corrupted data.
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -328,6 +345,21 @@ mod tests {
         s.add(0.5);
         assert_eq!(s.quantile(0.0), Some(0.5));
         assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn sample_set_tolerates_nan_samples() {
+        let mut s = SampleSet::new();
+        for x in [3.0, f64::NAN, 1.0, 2.0] {
+            s.add(x);
+        }
+        // No panic: NaN sorts to the tail under total_cmp.
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.p50(), Some(2.0));
+        assert!(s.quantile(1.0).unwrap().is_nan());
+        assert_eq!(s.nan_count(), 1);
+        let clean = SampleSet::new();
+        assert_eq!(clean.nan_count(), 0);
     }
 
     #[test]

@@ -369,6 +369,7 @@ impl GuestWorkload for IoServer {
             p95_ns: lat.p95().unwrap_or(0.0),
             p99_ns: lat.p99().unwrap_or(0.0),
             max_ns: lat.quantile(1.0).unwrap_or(0.0),
+            nan_samples: lat.nan_count(),
         };
         WorkloadMetrics::Io {
             latency,

@@ -22,10 +22,15 @@
 //! * [`spec`] — declarative [`WorkloadSpec`] tokens
 //!   (`io/heterogeneous/120`, `walk/llcf`, `app/mcf`, …): the
 //!   vocabulary scenario files use to name any of the above.
+//! * [`fault`] — [`FaultyWorkload`], a wrapper injecting one
+//!   deterministic failure mode (`panic@<t>`, `hang`, `nan-rate`,
+//!   `horizon-lie`, `coalesce-break`) to prove the harness's
+//!   degradation paths end to end.
 
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod fault;
 pub mod idle;
 pub mod ioserver;
 pub mod memwalk;
@@ -34,6 +39,7 @@ pub mod spec;
 pub mod spinjob;
 
 pub use catalog::{all_apps, build_app_vm, find_app, AppEntry};
+pub use fault::{FaultSpec, FaultyWorkload};
 pub use idle::IdleWorkload;
 pub use ioserver::{IoServer, IoServerCfg};
 pub use memwalk::MemWalk;

@@ -1,0 +1,249 @@
+//! Fault-isolation properties of the experiment executor: every
+//! injected degradation path is contained to its own cell, classified
+//! correctly, and leaves every sibling cell's report bitwise identical
+//! to a fault-free run — across worker-thread counts and span-worker
+//! lane counts.
+//!
+//! The fault vocabulary under test (`fault=` scenario attribute, see
+//! `aql_workloads::fault`):
+//!
+//! * `panic@<t>`  → [`FailureKind::Panic`] (caught at the cell's
+//!   unwind boundary);
+//! * `hang`       → [`FailureKind::Livelock`] (the zero-progress bail
+//!   watchdog);
+//! * `nan-rate`   → [`FailureKind::Invariant`] (metric-finiteness
+//!   check on the finished report);
+//! * `horizon-lie` → absorbed: the broken-promise dense recovery makes
+//!   the lie harmless, bitwise;
+//! * `coalesce-break` → absorbed: the chunk contract violation is
+//!   counted, recovered densely, and stays within the conformance
+//!   tolerance of the dense oracle.
+
+mod common;
+
+use std::sync::OnceLock;
+
+use aql_sched::experiments::{execute, ExecOpts, FailureKind, PlanCell};
+use aql_sched::hv::{RunReport, TimeMode};
+use aql_sched::scenarios::{build_sim_seeded_full, parse_policy, ScenarioSpec};
+use common::{assert_reports_conform, REL_TOL};
+use proptest::prelude::*;
+
+/// A small mixed scenario; `fault` lands on the IO VM.
+fn scenario(name: &str, fault: Option<&str>) -> ScenarioSpec {
+    let fault_attr = fault.map(|f| format!(" fault={f}")).unwrap_or_default();
+    ScenarioSpec::parse(&format!(
+        "scenario = {name}\n\
+         machine = sockets=1 cores=2 cache=i7-3770\n\
+         warmup_ms = 100\n\
+         measure_ms = 250\n\
+         vm web workload=io/heterogeneous/150 seed=42{fault_attr}\n\
+         vm walk-%i count=2 workload=walk/llcf|walk/llco\n"
+    ))
+    .unwrap()
+}
+
+/// A solo walker on one core — the shape the engine reliably
+/// span-coalesces (see `tests/coalesce_conformance.rs`), so the
+/// coalesce-break fault is guaranteed a chunk contract to violate.
+fn walker_scenario(name: &str, fault: Option<&str>) -> ScenarioSpec {
+    let fault_attr = fault.map(|f| format!(" fault={f}")).unwrap_or_default();
+    ScenarioSpec::parse(&format!(
+        "scenario = {name}\n\
+         machine = sockets=1 cores=1 cache=i7-3770\n\
+         warmup_ms = 100\n\
+         measure_ms = 250\n\
+         vm mark workload=walk/llcf{fault_attr}\n",
+    ))
+    .unwrap()
+}
+
+fn opts(threads: usize, span_workers: usize) -> ExecOpts {
+    ExecOpts {
+        threads,
+        span_workers,
+        ..ExecOpts::default()
+    }
+}
+
+/// The three-cell matrix every isolation case perturbs.
+fn clean_cells() -> Vec<PlanCell> {
+    vec![
+        PlanCell::new(scenario("fi-a", None), "xen-credit"),
+        PlanCell::new(scenario("fi-b", None), "fixed/10ms"),
+        PlanCell::new(scenario("fi-c", None), "aql-sched"),
+    ]
+}
+
+/// Fault-free reports of [`clean_cells`], computed once.
+fn baseline() -> &'static Vec<Option<RunReport>> {
+    static BASELINE: OnceLock<Vec<Option<RunReport>>> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        execute(&clean_cells(), &ExecOpts::serial())
+            .unwrap()
+            .into_iter()
+            .map(|r| r.report)
+            .collect()
+    })
+}
+
+#[test]
+fn every_fault_token_degrades_as_classified() {
+    for (token, expected) in [
+        ("panic@30ms", FailureKind::Panic),
+        ("hang", FailureKind::Livelock),
+        ("nan-rate", FailureKind::Invariant),
+    ] {
+        let out = execute(
+            &[PlanCell::new(scenario("fi-x", Some(token)), "xen-credit")],
+            &ExecOpts::serial(),
+        )
+        .unwrap();
+        let failure = out[0]
+            .failure
+            .as_ref()
+            .unwrap_or_else(|| panic!("fault '{token}' must fail the cell"));
+        assert_eq!(failure.kind, expected, "fault '{token}'");
+        assert_eq!(failure.attempts, 1, "deterministic faults never retry");
+        assert!(out[0].report.is_none());
+    }
+}
+
+#[test]
+fn horizon_lie_is_absorbed_bitwise_on_the_grid_path() {
+    // With coalescing off, the adaptive grid replay is bit-identical
+    // to dense — and the broken-promise recovery must keep it so even
+    // when a workload lies that it never needs service again.
+    let flat = ExecOpts {
+        coalesce: false,
+        ..ExecOpts::serial()
+    };
+    let lied = execute(
+        &[PlanCell::new(
+            scenario("fi-h", Some("horizon-lie")),
+            "xen-credit",
+        )],
+        &flat,
+    )
+    .unwrap();
+    let honest = execute(
+        &[PlanCell::new(scenario("fi-h", None), "xen-credit")],
+        &flat,
+    )
+    .unwrap();
+    assert!(lied[0].failure.is_none(), "{:?}", lied[0].failure);
+    assert_eq!(
+        lied[0].report, honest[0].report,
+        "a lying horizon must not change a single result bit"
+    );
+}
+
+#[test]
+fn horizon_lie_stays_within_tolerance_when_coalescing() {
+    let lied = execute(
+        &[PlanCell::new(
+            scenario("fi-hc", Some("horizon-lie")),
+            "xen-credit",
+        )],
+        &ExecOpts::serial(),
+    )
+    .unwrap();
+    let honest = execute(
+        &[PlanCell::new(scenario("fi-hc", None), "xen-credit")],
+        &ExecOpts::serial(),
+    )
+    .unwrap();
+    assert!(lied[0].failure.is_none());
+    assert_reports_conform(
+        honest[0].report.as_ref().unwrap(),
+        lied[0].report.as_ref().unwrap(),
+        REL_TOL,
+        "horizon-lie vs honest (coalesced)",
+    );
+}
+
+#[test]
+fn coalesce_break_recovers_densely_within_tolerance() {
+    let spec = walker_scenario("fi-cb", Some("coalesce-break"));
+    let policy = parse_policy("fixed/10ms").unwrap();
+    let mut adaptive = build_sim_seeded_full(
+        &spec,
+        policy.build(&spec),
+        spec.seed,
+        TimeMode::Adaptive,
+        true,
+        1,
+    );
+    let adaptive_report = adaptive.run_measured(spec.warmup_ns, spec.measure_ns);
+    assert!(
+        adaptive.coalesce_break_count() > 0,
+        "the fault must actually break a chunk contract"
+    );
+    let policy = parse_policy("fixed/10ms").unwrap();
+    let mut dense = build_sim_seeded_full(
+        &spec,
+        policy.build(&spec),
+        spec.seed,
+        TimeMode::Dense,
+        true,
+        1,
+    );
+    let dense_report = dense.run_measured(spec.warmup_ns, spec.measure_ns);
+    assert_reports_conform(
+        &dense_report,
+        &adaptive_report,
+        REL_TOL,
+        "coalesce-break recovery vs dense oracle",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// One fault-injected cell in a three-cell matrix fails with its
+    /// classified kind while both siblings stay bitwise identical to
+    /// the fault-free matrix — for every fault kind, worker-thread
+    /// count and span-worker lane count.
+    #[test]
+    fn faulty_cell_is_contained_and_siblings_are_bitwise_identical(
+        fault in prop_oneof![
+            Just(("panic@10ms", FailureKind::Panic)),
+            Just(("panic@150ms", FailureKind::Panic)),
+            Just(("hang", FailureKind::Livelock)),
+            Just(("nan-rate", FailureKind::Invariant)),
+        ],
+        position in 0usize..3,
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+        span_workers in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let (token, expected) = fault;
+        let mut cells = clean_cells();
+        let name = cells[position].spec.name.clone();
+        let policy = cells[position].policy.clone();
+        cells[position] = PlanCell::new(
+            scenario(&name, Some(token)),
+            &policy,
+        );
+        let out = execute(&cells, &opts(threads, span_workers)).unwrap();
+        let failure = out[position]
+            .failure
+            .as_ref()
+            .expect("the injected fault must fail its cell");
+        prop_assert_eq!(failure.kind, expected);
+        prop_assert_eq!(&failure.scenario, &name);
+        prop_assert!(out[position].report.is_none());
+        for (i, result) in out.iter().enumerate() {
+            if i == position {
+                continue;
+            }
+            prop_assert!(result.failure.is_none());
+            prop_assert_eq!(
+                &result.report,
+                &baseline()[i],
+                "sibling {} drifted under fault '{}' at position {} \
+                 (threads {}, span_workers {})",
+                i, token, position, threads, span_workers
+            );
+        }
+    }
+}
